@@ -1,0 +1,78 @@
+// Command gpbench regenerates the paper's experimental tables and figures
+// (Section 8). Each figure has a driver; -fig selects one, -all runs the
+// whole suite. -scale trades fidelity for speed: 1.0 reproduces the
+// paper's dataset sizes, the default keeps every run laptop-quick.
+//
+// Usage:
+//
+//	gpbench -all
+//	gpbench -fig 18a -scale 0.1
+//	gpbench -fig 20b -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"gpm/internal/exp"
+)
+
+var drivers = map[string]func(exp.Config) exp.Table{
+	"16a": exp.Fig16a, "16b": exp.Fig16b, "16c": exp.Fig16c,
+	"17a": exp.Fig17a, "17b": exp.Fig17b, "17c": exp.Fig17c, "17d": exp.Fig17d,
+	"18a": exp.Fig18a, "18b": exp.Fig18b, "18c": exp.Fig18c, "18d": exp.Fig18d,
+	"19a": exp.Fig19a, "19b": exp.Fig19b, "19c": exp.Fig19c, "19d": exp.Fig19d,
+	"20a": exp.Fig20a, "20b": exp.Fig20b, "20c": exp.Fig20c, "20d": exp.Fig20d,
+	"20e": exp.Fig20e, "20f": exp.Fig20f,
+	"table1": exp.Table1Witnesses,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpbench: ")
+	var (
+		fig      = flag.String("fig", "", "figure to run: 16a…20f or table1 (comma-separated for several)")
+		all      = flag.Bool("all", false, "run the whole suite")
+		scale    = flag.Float64("scale", 0, "dataset scale factor (default: quick scale)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		skipSlow = flag.Bool("skip-slow", false, "skip the intentionally unscalable baselines")
+	)
+	flag.Parse()
+
+	cfg := exp.Default()
+	cfg.Seed = *seed
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	cfg.SkipSlowBaselines = *skipSlow
+
+	switch {
+	case *all:
+		exp.All(cfg, os.Stdout)
+	case *fig != "":
+		for _, name := range strings.Split(*fig, ",") {
+			name = strings.TrimSpace(name)
+			fn, ok := drivers[name]
+			if !ok {
+				log.Fatalf("unknown figure %q; available: %s", name, available())
+			}
+			t := fn(cfg)
+			t.Fprint(os.Stdout)
+		}
+	default:
+		fmt.Printf("available figures: %s\nrun with -fig <name> or -all\n", available())
+	}
+}
+
+func available() string {
+	names := make([]string, 0, len(drivers))
+	for n := range drivers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}

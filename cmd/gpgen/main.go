@@ -1,0 +1,121 @@
+// Command gpgen generates datasets for the matching tools and experiments:
+// attributed data graphs (YouTube-like, Citation-like, or synthetic),
+// random b-patterns anchored on a graph's attributes, and degree-biased
+// update streams.
+//
+// Usage:
+//
+//	gpgen -kind youtube -scale 0.1 -out yt.graph
+//	gpgen -kind synthetic -n 10000 -m 40000 -out syn.graph
+//	gpgen -pattern -graph yt.graph -pnodes 4 -pedges 5 -preds 2 -k 3 -out p.pattern
+//	gpgen -updates -graph yt.graph -inserts 500 -deletes 500 -out ups.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpgen: ")
+	var (
+		kind    = flag.String("kind", "synthetic", "graph kind: youtube | citation | synthetic")
+		scale   = flag.Float64("scale", 0.1, "scale factor for youtube/citation (1.0 = paper size)")
+		n       = flag.Int("n", 10000, "synthetic: number of nodes")
+		m       = flag.Int("m", 40000, "synthetic: number of edges")
+		alpha   = flag.Float64("alpha", 0, "synthetic: densification exponent (overrides -m when > 0)")
+		labels  = flag.Int("labels", 8, "synthetic: label alphabet size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+		pat     = flag.Bool("pattern", false, "generate a pattern instead of a graph")
+		ups     = flag.Bool("updates", false, "generate an update stream instead of a graph")
+		gfile   = flag.String("graph", "", "graph file to anchor patterns/updates on")
+		pnodes  = flag.Int("pnodes", 4, "pattern: |Vp|")
+		pedges  = flag.Int("pedges", 5, "pattern: |Ep|")
+		preds   = flag.Int("preds", 2, "pattern: predicates per node")
+		k       = flag.Int("k", 3, "pattern: bound (1 = normal pattern)")
+		star    = flag.Int("star", 10, "pattern: percent of unbounded edges when k > 1")
+		dag     = flag.Bool("dag", false, "pattern: force acyclic")
+		inserts = flag.Int("inserts", 100, "updates: number of insertions")
+		deletes = flag.Int("deletes", 100, "updates: number of deletions")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	switch {
+	case *pat:
+		g := loadGraph(*gfile)
+		params := generator.PatternParams{Nodes: *pnodes, Edges: *pedges, Preds: *preds, K: *k, StarFraction: *star}
+		var p *pattern.Pattern
+		if *dag {
+			p = generator.DAGPattern(g, params, *seed)
+		} else {
+			p = generator.Pattern(g, params, *seed)
+		}
+		if err := p.Write(w); err != nil {
+			log.Fatal(err)
+		}
+	case *ups:
+		g := loadGraph(*gfile)
+		stream := generator.Updates(g, *inserts, *deletes, *seed)
+		if err := graph.WriteUpdates(w, stream); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		var g *graph.Graph
+		switch *kind {
+		case "youtube":
+			g = generator.YouTube(*scale, *seed)
+		case "citation":
+			g = generator.Citation(*scale, *seed)
+		case "synthetic":
+			if *alpha > 0 {
+				g = generator.SyntheticAlpha(*n, *alpha, generator.DefaultSchema(*labels), *seed)
+			} else {
+				g = generator.Synthetic(*n, *m, generator.DefaultSchema(*labels), *seed)
+			}
+		default:
+			log.Fatalf("unknown -kind %q", *kind)
+		}
+		if err := g.Write(w); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gpgen: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func loadGraph(path string) *graph.Graph {
+	if path == "" {
+		log.Fatal("-graph is required for -pattern/-updates")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,45 @@
+package gpm_test
+
+import (
+	"fmt"
+
+	"gpm"
+)
+
+// Example reproduces the paper's Fig. 4 walkthrough in miniature: match a
+// b-pattern, apply an edge insertion incrementally, and observe ΔM.
+func Example() {
+	g := gpm.NewGraph()
+	ann := g.AddNode(gpm.NewTuple("label", `"CTO"`))
+	pat := g.AddNode(gpm.NewTuple("label", `"DB"`))
+	bill := g.AddNode(gpm.NewTuple("label", `"Bio"`))
+	don := g.AddNode(gpm.NewTuple("label", `"CTO"`))
+	g.AddEdge(ann, pat)
+	g.AddEdge(pat, bill)
+	g.AddEdge(pat, ann)
+
+	p := gpm.NewPattern()
+	cto := p.AddNode(gpm.Label("CTO"))
+	db := p.AddNode(gpm.Label("DB"))
+	bio := p.AddNode(gpm.Label("Bio"))
+	p.AddEdge(cto, db, 2)
+	p.AddEdge(db, bio, 1)
+	p.AddEdge(db, cto, gpm.Unbounded)
+	_ = bio
+
+	eng, err := gpm.NewIncBSimEngine(p, g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Don matches CTO:", eng.IsMatch(cto, don))
+
+	before := eng.Result()
+	eng.Insert(don, pat) // Don gains a DB researcher within 2 hops
+	_, added := before.Diff(eng.Result())
+	fmt.Println("new pairs:", len(added))
+	fmt.Println("Don matches CTO:", eng.IsMatch(cto, don))
+	// Output:
+	// Don matches CTO: false
+	// new pairs: 1
+	// Don matches CTO: true
+}

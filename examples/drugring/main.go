@@ -1,0 +1,87 @@
+// Drug ring: the motivating Example 1.1 / Fig. 1 of the paper. A
+// drug-trafficking organization — a boss (B) over assistant managers (AM)
+// over 3-level field-worker hierarchies (FW), with a secretary (S) role —
+// is invisible to subgraph isomorphism (AM and S share a person; AM
+// supervises FWs across up to 3 hops) but falls out directly from bounded
+// simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpm"
+)
+
+func main() {
+	const numAMs = 3
+
+	// Pattern P0 (Fig. 1): edge labels are hop bounds.
+	p := gpm.NewPattern()
+	b := p.AddNode(gpm.Label("B"))
+	am := p.AddNode(gpm.Label("AM"))
+	s := p.AddNode(gpm.Predicate{}.Where("s", gpm.OpEQ, gpm.Int(1)))
+	fw := p.AddNode(gpm.Label("FW"))
+	must(p.AddEdge(b, am, 1))  // boss oversees AMs directly
+	must(p.AddEdge(am, b, 1))  // AMs report directly to the boss
+	must(p.AddEdge(am, fw, 3)) // an AM supervises FWs within 3 hops
+	must(p.AddEdge(fw, am, 3)) // FWs report back within 3 hops
+	must(p.AddEdge(b, s, 1))   // the boss reaches the secretary directly
+	must(p.AddEdge(s, fw, 1))  // the secretary conveys to top-level FWs
+
+	// Data graph G0: the ring, with Am doubling as the secretary.
+	g := gpm.NewGraph()
+	boss := g.AddNode(gpm.NewTuple("label", `"B"`, "name", `"boss"`))
+	names := map[gpm.NodeID]string{boss: "boss"}
+	for i := 0; i < numAMs; i++ {
+		t := gpm.NewTuple("label", `"AM"`)
+		if i == numAMs-1 {
+			t["s"] = gpm.Int(1) // Am is both AM and S
+		}
+		a := g.AddNode(t)
+		names[a] = fmt.Sprintf("A%d", i+1)
+		g.AddEdge(boss, a)
+		g.AddEdge(a, boss)
+		prev := a
+		var last gpm.NodeID
+		for d := 0; d < 3; d++ {
+			w := g.AddNode(gpm.NewTuple("label", `"FW"`))
+			names[w] = fmt.Sprintf("W%d.%d", i+1, d+1)
+			g.AddEdge(prev, w)
+			prev, last = w, w
+		}
+		g.AddEdge(last, a) // the chain tail reports back
+	}
+
+	// Subgraph isomorphism cannot see the ring…
+	if ems := gpm.EnumerateIsomorphic(p.Normalized(), g, 1); len(ems) == 0 {
+		fmt.Println("VF2 (subgraph isomorphism): no match — as Example 1.1 predicts")
+	} else {
+		fmt.Println("VF2 unexpectedly found a match!")
+	}
+
+	// …bounded simulation identifies every suspect.
+	rel := gpm.Match(p, g)
+	if rel.Empty() {
+		log.Fatal("bounded simulation should match the ring")
+	}
+	fmt.Println("\nbounded simulation (suspects per role):")
+	for u, role := range []string{"B ", "AM", "S ", "FW"} {
+		fmt.Printf("  %s →", role)
+		for _, v := range rel[u].Sorted() {
+			fmt.Printf(" %s", names[v])
+		}
+		fmt.Println()
+	}
+
+	// The result graph projects pattern edges onto bounded paths.
+	rg := gpm.BoundedResultGraph(p, g, rel)
+	fmt.Printf("\nresult graph: %d suspects, %d projected connections\n",
+		rg.NumNodes(), rg.NumEdges())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: build a small attributed graph, match a bounded-simulation
+// pattern against it, then keep the match fresh under edge updates with an
+// incremental engine — the minimal end-to-end tour of the gpm API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpm"
+)
+
+func main() {
+	// A toy collaboration network: managers (M), engineers (E), designers (D).
+	g := gpm.NewGraph()
+	mia := g.AddNode(gpm.NewTuple("label", `"M"`, "name", `"Mia"`))
+	eve := g.AddNode(gpm.NewTuple("label", `"E"`, "name", `"Eve"`, "years", "7"))
+	eli := g.AddNode(gpm.NewTuple("label", `"E"`, "name", `"Eli"`, "years", "2"))
+	dan := g.AddNode(gpm.NewTuple("label", `"D"`, "name", `"Dan"`))
+	g.AddEdge(mia, eve) // Mia works with Eve
+	g.AddEdge(eve, eli) // Eve mentors Eli
+	g.AddEdge(eli, dan) // Eli pairs with Dan
+
+	// Pattern: a manager within 2 hops of a senior engineer (>= 5 years),
+	// who reaches a designer through any chain.
+	p := gpm.NewPattern()
+	m := p.AddNode(gpm.Label("M"))
+	e := p.AddNode(gpm.Label("E").Where("years", gpm.OpGE, gpm.Int(5)))
+	d := p.AddNode(gpm.Label("D"))
+	must(p.AddEdge(m, e, 2))
+	must(p.AddEdge(e, d, gpm.Unbounded))
+
+	rel := gpm.Match(p, g)
+	fmt.Println("initial match:")
+	printMatch(rel, []string{"manager", "senior eng", "designer"}, g)
+
+	// Incremental maintenance: the engine owns the graph from here on.
+	eng, err := gpm.NewIncBSimEngine(p, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Eve leaves the designer chain: Eli's pairing with Dan ends.
+	eng.Delete(eli, dan)
+	fmt.Println("\nafter deleting Eli→Dan (chain to the designer broken):")
+	printMatch(eng.Result(), []string{"manager", "senior eng", "designer"}, g)
+
+	// Eve starts working with Dan directly: the match is repaired, not
+	// recomputed.
+	eng.Insert(eve, dan)
+	fmt.Println("\nafter inserting Eve→Dan:")
+	printMatch(eng.Result(), []string{"manager", "senior eng", "designer"}, g)
+	fmt.Printf("\naffected-area stats: %+v\n", eng.Stats())
+}
+
+func printMatch(rel gpm.Relation, roles []string, g *gpm.Graph) {
+	if rel.Empty() {
+		fmt.Println("  (no match)")
+		return
+	}
+	for u, set := range rel {
+		fmt.Printf("  %-11s →", roles[u])
+		for _, v := range set.Sorted() {
+			name, _ := g.Attrs(v).Get("name")
+			fmt.Printf(" %s", name.Str())
+		}
+		fmt.Println()
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

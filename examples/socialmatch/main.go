@@ -1,0 +1,141 @@
+// Social matching: the two Fig. 2 scenarios. P1/G1 — a founder assembling
+// a start-up team (software engineer and HR expert within 2 hops, golfing
+// sales managers connected back through any chain); P2/G2 — a computer
+// scientist looking for cross-disciplinary collaborators. Both matches
+// need relations (not bijections), shared roles and edge-to-path mappings,
+// so bounded simulation finds them where subgraph isomorphism cannot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpm"
+)
+
+func main() {
+	teamFormation()
+	fmt.Println()
+	collaboration()
+}
+
+func teamFormation() {
+	fmt.Println("— P1/G1: start-up team formation —")
+	p := gpm.NewPattern()
+	a := p.AddNode(gpm.Label("A"))
+	se := p.AddNode(gpm.Predicate{}.Where("se", gpm.OpEQ, gpm.Int(1)))
+	hr := p.AddNode(gpm.Predicate{}.Where("hr", gpm.OpEQ, gpm.Int(1)))
+	dm := p.AddNode(gpm.Predicate{}.
+		Where("dm", gpm.OpEQ, gpm.Int(1)).
+		Where("hobby", gpm.OpEQ, gpm.String("golf")))
+	must(p.AddEdge(a, se, 2))             // an SE within 2 hops
+	must(p.AddEdge(a, hr, 2))             // an HR expert within 2 hops
+	must(p.AddEdge(se, dm, 1))            // DM within 1 hop of the SE
+	must(p.AddEdge(hr, dm, 2))            // DM within 2 hops of the HR
+	must(p.AddEdge(dm, a, gpm.Unbounded)) // DM linked back through friends
+
+	g := gpm.NewGraph()
+	name := map[gpm.NodeID]string{}
+	add := func(label string, t gpm.Tuple) gpm.NodeID {
+		id := g.AddNode(t)
+		name[id] = label
+		return id
+	}
+	founder := add("founder", gpm.NewTuple("label", `"A"`))
+	eng := add("engineer", gpm.NewTuple("se", "1"))
+	hrX := add("hr-expert", gpm.NewTuple("hr", "1"))
+	both := add("hr+se", gpm.NewTuple("hr", "1", "se", "1")) // dual role
+	dmL := add("golfer-dm-1", gpm.NewTuple("dm", "1", "hobby", `"golf"`))
+	dmR := add("golfer-dm-2", gpm.NewTuple("dm", "1", "hobby", `"golf"`))
+	g.AddEdge(founder, hrX)
+	g.AddEdge(hrX, both)
+	g.AddEdge(founder, eng)
+	g.AddEdge(eng, dmR)
+	g.AddEdge(both, dmL)
+	g.AddEdge(hrX, dmL)
+	g.AddEdge(dmL, founder)
+	g.AddEdge(dmR, dmL)
+
+	rel := gpm.Match(p, g)
+	roles := []string{"A", "SE", "HR", "DM"}
+	for u := range rel {
+		fmt.Printf("  %-2s →", roles[u])
+		for _, v := range rel[u].Sorted() {
+			fmt.Printf(" %s", name[v])
+		}
+		fmt.Println()
+	}
+	fmt.Println("  note: 'hr+se' matches both SE and HR — impossible for a bijection;")
+	fmt.Printf("  VF2 embeddings of the same (normalized) pattern: %d\n",
+		len(gpm.EnumerateIsomorphic(p.Normalized(), g, 0)))
+	_ = a
+	_ = dm
+}
+
+func collaboration() {
+	fmt.Println("— P2/G2: cross-disciplinary collaboration —")
+	p := gpm.NewPattern()
+	cs := p.AddNode(gpm.Predicate{}.Where("dept", gpm.OpEQ, gpm.String("CS")))
+	bio := p.AddNode(gpm.Predicate{}.Where("dept", gpm.OpEQ, gpm.String("Bio")))
+	med := p.AddNode(gpm.Label("Med"))
+	soc := p.AddNode(gpm.Label("Soc"))
+	must(p.AddEdge(cs, bio, 2))
+	must(p.AddEdge(cs, soc, 3))
+	must(p.AddEdge(cs, med, gpm.Unbounded))
+	must(p.AddEdge(med, cs, gpm.Unbounded))
+	must(p.AddEdge(bio, soc, 2))
+	must(p.AddEdge(bio, med, 3))
+
+	g := gpm.NewGraph()
+	name := map[gpm.NodeID]string{}
+	add := func(label string, t gpm.Tuple) gpm.NodeID {
+		id := g.AddNode(t)
+		name[id] = label
+		return id
+	}
+	db := add("DB", gpm.NewTuple("label", `"DB"`, "dept", `"CS"`))
+	ai := add("AI", gpm.NewTuple("label", `"AI"`, "dept", `"CS"`))
+	gen := add("Gen", gpm.NewTuple("label", `"Gen"`, "dept", `"Bio"`))
+	eco := add("Eco", gpm.NewTuple("label", `"Eco"`, "dept", `"Bio"`))
+	chem := add("Chem", gpm.NewTuple("label", `"Chem"`))
+	medN := add("Med", gpm.NewTuple("label", `"Med"`))
+	socN := add("Soc", gpm.NewTuple("label", `"Soc"`))
+	g.AddEdge(db, gen)
+	g.AddEdge(gen, eco)
+	g.AddEdge(eco, socN)
+	g.AddEdge(socN, medN)
+	g.AddEdge(medN, db)
+	g.AddEdge(ai, chem)
+	g.AddEdge(chem, ai)
+
+	rel := gpm.Match(p, g)
+	roles := []string{"CS", "Bio", "Med", "Soc"}
+	for u := range rel {
+		fmt.Printf("  %-3s →", roles[u])
+		for _, v := range rel[u].Sorted() {
+			fmt.Printf(" %s", name[v])
+		}
+		fmt.Println()
+	}
+	fmt.Println("  note: AI is excluded — no path to Soc within 3 hops (Example 2.2)")
+
+	// Example 2.2(3): drop (DB, Gen) and the match collapses entirely.
+	eng, err := gpm.NewIncBSimEngine(p, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Delete(db, gen)
+	if eng.Result().Empty() {
+		fmt.Println("  after deleting DB→Gen: no match at all (CS has no valid candidate)")
+	}
+	_ = bio
+	_ = med
+	_ = soc
+	_ = cs
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package gpm is a from-scratch Go implementation of Fan, Wang & Wu,
+// "Incremental Graph Pattern Matching" (SIGMOD 2011 / ACM TODS 38(3),
+// 2013): graph pattern matching via bounded simulation, and incremental
+// matching under edge updates for graph simulation, bounded simulation and
+// subgraph isomorphism.
+//
+// The package is a façade over the internal implementation packages; it
+// exposes everything a downstream user needs:
+//
+//   - Graph (data graphs with attribute tuples and edge updates) and
+//     Pattern (b-patterns: predicates on nodes, hop bounds k or * on edges);
+//   - Match: the cubic-time maximum bounded-simulation match (Section 3),
+//     with pluggable distance oracles (BFS, all-pairs matrix, 2-hop,
+//     landmark vectors);
+//   - MatchSimulation: classic graph simulation (normal patterns);
+//   - EnumerateIsomorphic: VF2-style subgraph isomorphism;
+//   - IncSimEngine / IncBSimEngine: the incremental engines of Sections 5
+//     and 6, maintaining matches under unit and batch edge updates in time
+//     proportional to the affected area;
+//   - LandmarkIndex: the landmark + distance-vector structure of Section 6
+//     with incremental maintenance (InsLM / DelLM / IncLM).
+//
+// A minimal session:
+//
+//	g := gpm.NewGraph()
+//	boss := g.AddNode(gpm.NewTuple("label", `"B"`))
+//	am := g.AddNode(gpm.NewTuple("label", `"AM"`))
+//	g.AddEdge(boss, am)
+//
+//	p := gpm.NewPattern()
+//	b := p.AddNode(gpm.Label("B"))
+//	a := p.AddNode(gpm.Label("AM"))
+//	p.AddEdge(b, a, 1)
+//
+//	rel := gpm.Match(p, g)        // maximum bounded-simulation match
+//
+//	eng, _ := gpm.NewIncBSimEngine(p, g)
+//	eng.Insert(am, boss)          // incremental repair, not recomputation
+//	rel = eng.Result()
+package gpm
+
+import (
+	"gpm/internal/core"
+	"gpm/internal/distance"
+	"gpm/internal/graph"
+	"gpm/internal/incbsim"
+	"gpm/internal/incsim"
+	"gpm/internal/iso"
+	"gpm/internal/landmark"
+	"gpm/internal/pattern"
+	"gpm/internal/rel"
+	"gpm/internal/resultgraph"
+	"gpm/internal/simulation"
+)
+
+// Core data types, re-exported for downstream use.
+type (
+	// Graph is a directed data graph with attributed nodes.
+	Graph = graph.Graph
+	// Tuple is a node's attribute tuple.
+	Tuple = graph.Tuple
+	// Value is an attribute value (string, int or float).
+	Value = graph.Value
+	// NodeID identifies a data-graph node.
+	NodeID = graph.NodeID
+	// Update is a unit edge insertion or deletion.
+	Update = graph.Update
+	// Pattern is a b-pattern: predicates on nodes, bounds on edges.
+	Pattern = pattern.Pattern
+	// Predicate is a conjunction of attribute comparisons.
+	Predicate = pattern.Predicate
+	// Relation is a match relation S ⊆ Vp × V.
+	Relation = rel.Relation
+	// ResultGraph is the graph representation Gr of a match.
+	ResultGraph = resultgraph.Graph
+	// IncSimEngine incrementally maintains graph simulation (Section 5).
+	IncSimEngine = incsim.Engine
+	// IncBSimEngine incrementally maintains bounded simulation (Section 6).
+	IncBSimEngine = incbsim.Engine
+	// IncIsoEngine incrementally maintains subgraph isomorphism (Section 7).
+	IncIsoEngine = iso.Engine
+	// LandmarkIndex is the landmark + distance-vector oracle of Section 6.2.
+	LandmarkIndex = landmark.Index
+	// Embedding is one subgraph-isomorphism match.
+	Embedding = iso.Embedding
+	// DistanceOracle answers hop-distance queries for Match.
+	DistanceOracle = distance.Oracle
+)
+
+// CmpOp is a predicate comparison operator.
+type CmpOp = pattern.CmpOp
+
+// The predicate comparison operators of the paper: <, <=, =, !=, >, >=.
+const (
+	OpLT = pattern.OpLT
+	OpLE = pattern.OpLE
+	OpEQ = pattern.OpEQ
+	OpNE = pattern.OpNE
+	OpGT = pattern.OpGT
+	OpGE = pattern.OpGE
+)
+
+// String constructs a string attribute value.
+func String(s string) Value { return graph.String(s) }
+
+// Int constructs an integer attribute value.
+func Int(i int64) Value { return graph.Int(i) }
+
+// Float constructs a floating-point attribute value.
+func Float(f float64) Value { return graph.Float(f) }
+
+// Unbounded is the * edge bound: a pattern edge mapped to a nonempty path
+// of any length.
+const Unbounded = pattern.Unbounded
+
+// NewGraph returns an empty data graph.
+func NewGraph() *Graph { return graph.New() }
+
+// NewTuple builds an attribute tuple from alternating key/value strings;
+// values parse as int, float or (quoted) string.
+func NewTuple(kv ...string) Tuple { return graph.NewTuple(kv...) }
+
+// NewPattern returns an empty pattern.
+func NewPattern() *Pattern { return pattern.New() }
+
+// Label returns the predicate "label = l".
+func Label(l string) Predicate { return pattern.Label(l) }
+
+// Insert is shorthand for an edge-insertion update.
+func Insert(u, v NodeID) Update { return graph.Insert(u, v) }
+
+// Delete is shorthand for an edge-deletion update.
+func Delete(u, v NodeID) Update { return graph.Delete(u, v) }
+
+// Match computes the maximum bounded-simulation match Mksim(P, G)
+// (Theorem 3.1) using on-demand BFS for distances. Use MatchWithOracle to
+// supply a precomputed oracle.
+func Match(p *Pattern, g *Graph) Relation { return core.MatchBFS(p, g) }
+
+// MatchWithOracle computes Mksim(P, G) over the given distance oracle
+// (e.g. NewDistanceMatrix, NewTwoHop or NewLandmarkIndex results).
+func MatchWithOracle(p *Pattern, g *Graph, o DistanceOracle) Relation {
+	return core.Match(p, g, core.WithOracle(o))
+}
+
+// MatchSimulation computes the maximum graph-simulation match Msim(P, G)
+// for a normal pattern (every bound 1).
+func MatchSimulation(p *Pattern, g *Graph) Relation { return simulation.Maximum(p, g) }
+
+// MatchDualSimulation computes the maximum dual-simulation match for a
+// normal pattern: simulation refined with the symmetric parent condition
+// (Ma et al. 2011, the Section 2.3 remark).
+func MatchDualSimulation(p *Pattern, g *Graph) Relation { return simulation.DualMaximum(p, g) }
+
+// MatchColored computes the maximum bounded-simulation match of a pattern
+// that may contain colored edges (AddColoredEdge): a colored pattern edge
+// maps only to paths whose data edges all carry that relationship label —
+// the typed-relationship extension of the paper's Section 2.2 remark.
+func MatchColored(p *Pattern, g *Graph) Relation { return core.MatchColored(p, g) }
+
+// EnumerateIsomorphic returns the subgraph-isomorphism embeddings of a
+// normal pattern, up to limit (limit <= 0 for all).
+func EnumerateIsomorphic(p *Pattern, g *Graph, limit int) []Embedding {
+	return iso.Enumerate(p, g, limit)
+}
+
+// NewIncSimEngine builds the incremental simulation engine (IncMatch⁻,
+// IncMatch⁺, IncMatch of Section 5) for a normal pattern. The engine owns
+// g: apply updates through its methods.
+func NewIncSimEngine(p *Pattern, g *Graph) (*IncSimEngine, error) { return incsim.New(p, g) }
+
+// NewIncBSimEngine builds the incremental bounded-simulation engine
+// (IncBMatch of Section 6) for a b-pattern. The engine owns g.
+func NewIncBSimEngine(p *Pattern, g *Graph) (*IncBSimEngine, error) { return incbsim.New(p, g) }
+
+// NewIncBSimEngineWithLandmarks builds the incremental bounded-simulation
+// engine backed by a maintained landmark index built over g.
+func NewIncBSimEngineWithLandmarks(p *Pattern, g *Graph) (*IncBSimEngine, error) {
+	return incbsim.New(p, g, incbsim.WithLandmarkIndex(landmark.New(g)))
+}
+
+// NewIncIsoEngine builds the incremental subgraph-isomorphism engine
+// (IncIsoMat of Section 7 — unbounded by Theorem 7.1, exponential worst
+// case) for a normal pattern.
+func NewIncIsoEngine(p *Pattern, g *Graph) *IncIsoEngine { return iso.NewEngine(p, g) }
+
+// NewLandmarkIndex builds the landmark + distance-vector oracle of
+// Section 6.2 over g (a greedy vertex cover plus two BFS runs per
+// landmark). The index doubles as a DistanceOracle.
+func NewLandmarkIndex(g *Graph) *LandmarkIndex { return landmark.New(g) }
+
+// NewDistanceMatrix builds the all-pairs distance matrix oracle (O(|V|²)
+// space).
+func NewDistanceMatrix(g *Graph) DistanceOracle { return distance.NewMatrix(g) }
+
+// NewTwoHop builds the 2-hop cover labeling oracle.
+func NewTwoHop(g *Graph) DistanceOracle { return distance.NewTwoHop(g) }
+
+// NewWeightedMatrix builds the Floyd–Warshall all-pairs oracle over edge
+// weights (the weighted-graph extension remarked after Theorem 3.1);
+// pattern bounds are then interpreted over truncated weighted distances.
+func NewWeightedMatrix(g *Graph, weight func(u, v NodeID) float64) DistanceOracle {
+	return distance.NewWeightedMatrix(g, weight)
+}
+
+// SimulationResultGraph builds the result graph Gr of a simulation match.
+func SimulationResultGraph(p *Pattern, g *Graph, r Relation) *ResultGraph {
+	return resultgraph.FromSimulation(p, g, r)
+}
+
+// BoundedResultGraph builds the result graph Gr of a bounded-simulation
+// match (edges are projections of pattern edges onto bounded paths).
+func BoundedResultGraph(p *Pattern, g *Graph, r Relation) *ResultGraph {
+	return resultgraph.FromBounded(p, g, r, nil)
+}

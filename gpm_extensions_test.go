@@ -1,0 +1,105 @@
+package gpm_test
+
+import (
+	"testing"
+
+	"gpm"
+)
+
+func TestFacadeColoredMatching(t *testing.T) {
+	g := gpm.NewGraph()
+	a := g.AddNode(gpm.NewTuple("label", `"a"`))
+	x := g.AddNode(gpm.NewTuple("label", `"x"`))
+	b := g.AddNode(gpm.NewTuple("label", `"b"`))
+	if _, err := g.AddLabeledEdge(a, x, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddLabeledEdge(x, b, "cites"); err != nil {
+		t.Fatal(err)
+	}
+
+	p := gpm.NewPattern()
+	pa := p.AddNode(gpm.Label("a"))
+	pb := p.AddNode(gpm.Label("b"))
+	if err := p.AddColoredEdge(pa, pb, 2, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if r := gpm.MatchColored(p, g); !r.Empty() {
+		t.Fatalf("mixed-label chain must not match: %v", r)
+	}
+	// A plain bounded edge ignores labels.
+	plain := gpm.NewPattern()
+	qa := plain.AddNode(gpm.Label("a"))
+	qb := plain.AddNode(gpm.Label("b"))
+	plain.AddEdge(qa, qb, 2)
+	if r := gpm.MatchColored(plain, g); r.Empty() {
+		t.Fatal("plain pattern should match the 2-hop chain")
+	}
+}
+
+func TestFacadeColoredRejectedByEngines(t *testing.T) {
+	g := gpm.NewGraph()
+	g.AddNode(gpm.NewTuple("label", `"a"`))
+	g.AddNode(gpm.NewTuple("label", `"b"`))
+	p := gpm.NewPattern()
+	a := p.AddNode(gpm.Label("a"))
+	b := p.AddNode(gpm.Label("b"))
+	if err := p.AddColoredEdge(a, b, 1, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpm.NewIncSimEngine(p, g.Clone()); err == nil {
+		t.Fatal("incsim must reject colored patterns")
+	}
+	if _, err := gpm.NewIncBSimEngine(p, g.Clone()); err == nil {
+		t.Fatal("incbsim must reject colored patterns")
+	}
+}
+
+func TestFacadeDualSimulation(t *testing.T) {
+	g := gpm.NewGraph()
+	a0 := g.AddNode(gpm.NewTuple("label", `"a"`))
+	b0 := g.AddNode(gpm.NewTuple("label", `"b"`))
+	c0 := g.AddNode(gpm.NewTuple("label", `"c"`))
+	b1 := g.AddNode(gpm.NewTuple("label", `"b"`))
+	g.AddEdge(a0, b0)
+	g.AddEdge(c0, b1) // b1 has no a-parent
+
+	p := gpm.NewPattern()
+	a := p.AddNode(gpm.Label("a"))
+	b := p.AddNode(gpm.Label("b"))
+	p.AddEdge(a, b, 1)
+
+	plain := gpm.MatchSimulation(p, g)
+	dual := gpm.MatchDualSimulation(p, g)
+	if !plain[b].Has(b1) {
+		t.Fatal("plain simulation should admit b1")
+	}
+	if dual[b].Has(b1) {
+		t.Fatal("dual simulation must prune b1")
+	}
+	if !dual[a].Has(a0) || !dual[b].Has(b0) {
+		t.Fatalf("dual lost the witness: %v", dual)
+	}
+}
+
+func TestFacadeWeightedMatrixOracle(t *testing.T) {
+	// The weighted Floyd–Warshall oracle plugged into Match (the remark
+	// after Theorem 3.1): with unit weights it agrees with plain Match.
+	g := gpm.NewGraph()
+	a := g.AddNode(gpm.NewTuple("label", `"a"`))
+	x := g.AddNode(gpm.NewTuple("label", `"x"`))
+	b := g.AddNode(gpm.NewTuple("label", `"b"`))
+	g.AddEdge(a, x)
+	g.AddEdge(x, b)
+
+	p := gpm.NewPattern()
+	pa := p.AddNode(gpm.Label("a"))
+	pb := p.AddNode(gpm.Label("b"))
+	p.AddEdge(pa, pb, 2)
+
+	want := gpm.Match(p, g)
+	got := gpm.MatchWithOracle(p, g, gpm.NewWeightedMatrix(g, func(u, v gpm.NodeID) float64 { return 1 }))
+	if !got.Equal(want) {
+		t.Fatalf("weighted(1) = %v, plain = %v", got, want)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+func TestMatchEdgelessPattern(t *testing.T) {
+	// A pattern with no edges matches every predicate-satisfying node.
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("a"))
+	g := graph.New()
+	g.AddNode(graph.NewTuple("label", `"a"`))
+	g.AddNode(graph.NewTuple("label", `"a"`))
+	g.AddNode(graph.NewTuple("label", `"b"`))
+	r := Match(p, g)
+	if r[a].Len() != 2 {
+		t.Fatalf("match = %v, want both a-nodes", r[a])
+	}
+}
+
+func TestMatchDisconnectedPattern(t *testing.T) {
+	// Two disconnected pattern components: both must be matched or the
+	// whole result is empty (totality).
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("a"))
+	b := p.AddNode(pattern.Label("b"))
+	c := p.AddNode(pattern.Label("zzz")) // matches nothing
+	p.AddEdge(a, b, 1)
+	_ = c
+	g := graph.New()
+	ga := g.AddNode(graph.NewTuple("label", `"a"`))
+	gb := g.AddNode(graph.NewTuple("label", `"b"`))
+	g.AddEdge(ga, gb)
+	if r := Match(p, g); !r.Empty() {
+		t.Fatalf("unmatched isolated pattern node must empty the match: %v", r)
+	}
+}
+
+func TestMatchPredicateOperators(t *testing.T) {
+	// Numeric range predicates behave like the paper's search conditions.
+	p := pattern.New()
+	u := p.AddNode(pattern.Predicate{}.
+		Where("age", pattern.OpGT, graph.Int(20)).
+		Where("age", pattern.OpLE, graph.Int(30)))
+	g := graph.New()
+	in := g.AddNode(graph.NewTuple("age", "25"))
+	low := g.AddNode(graph.NewTuple("age", "20"))
+	high := g.AddNode(graph.NewTuple("age", "31"))
+	edge := g.AddNode(graph.NewTuple("age", "30"))
+	r := Match(p, g)
+	if !r[u].Has(in) || !r[u].Has(edge) {
+		t.Fatalf("range endpoints wrong: %v", r[u])
+	}
+	if r[u].Has(low) || r[u].Has(high) {
+		t.Fatalf("out-of-range nodes matched: %v", r[u])
+	}
+}
+
+func TestMatchLargeBoundEqualsUnbounded(t *testing.T) {
+	// On a graph of diameter d, any bound >= d behaves like *.
+	for seed := int64(0); seed < 10; seed++ {
+		g := generator.RandomGraph(12, 25, 2, seed)
+		pStar := generator.RandomPattern(3, 4, 2, 1, seed+50)
+		// Copy topology with * bounds and with bound = |V| (≥ any distance).
+		pBig := pStar.Clone()
+		star := pStar.Clone()
+		for _, e := range pStar.Edges() {
+			star.AddEdge(e.From, e.To, pattern.Unbounded)
+			pBig.AddEdge(e.From, e.To, g.NumNodes())
+		}
+		if !Match(star, g).Equal(Match(pBig, g)) {
+			t.Fatalf("seed %d: bound |V| differs from *", seed)
+		}
+	}
+}
+
+func TestHoldsDetectsBrokenTotality(t *testing.T) {
+	p := pattern.New()
+	p.AddNode(pattern.Label("a"))
+	p.AddNode(pattern.Label("b"))
+	g := graph.New()
+	ga := g.AddNode(graph.NewTuple("label", `"a"`))
+	r := Match(p, g)
+	if !r.Empty() {
+		t.Fatal("expected empty")
+	}
+	bogus := r.Clone()
+	bogus[0].Add(ga) // partial relation: not total, not empty
+	if Holds(p, g, bogus) {
+		t.Fatal("Holds accepted a non-total nonempty relation")
+	}
+}

@@ -1,0 +1,108 @@
+package distance
+
+import (
+	"math"
+
+	"gpm/internal/graph"
+)
+
+// Matrix is the all-pairs distance matrix of Section 3 (line 1 of algorithm
+// Match), computed with one BFS per node in O(|V|(|V| + |E|)) time and
+// O(|V|²) space. Distances are stored as int32; unreachable pairs hold
+// unreachable32.
+type Matrix struct {
+	n    int
+	dist []int32 // row-major: dist[u*n+v]
+}
+
+const unreachable32 = int32(math.MaxInt32)
+
+// NewMatrix builds the distance matrix of g.
+func NewMatrix(g *graph.Graph) *Matrix {
+	n := g.NumNodes()
+	m := &Matrix{n: n, dist: make([]int32, n*n)}
+	row := make([]int, n)
+	for u := 0; u < n; u++ {
+		g.BFSFrom(u, graph.Forward, row)
+		base := u * n
+		for v, d := range row {
+			if d == graph.Unreachable {
+				m.dist[base+v] = unreachable32
+			} else {
+				m.dist[base+v] = int32(d)
+			}
+		}
+	}
+	return m
+}
+
+// Dist implements Oracle.
+func (m *Matrix) Dist(u, v graph.NodeID) int {
+	d := m.dist[u*m.n+v]
+	if d == unreachable32 {
+		return graph.Unreachable
+	}
+	return int(d)
+}
+
+// NumNodes returns the dimension of the matrix.
+func (m *Matrix) NumNodes() int { return m.n }
+
+// Bytes returns the memory footprint of the matrix payload.
+func (m *Matrix) Bytes() int64 { return int64(len(m.dist)) * 4 }
+
+// WeightedMatrix is the Floyd–Warshall all-pairs matrix for weighted graphs
+// — the extension remarked after Theorem 3.1. Weights are supplied per edge;
+// they must be non-negative.
+type WeightedMatrix struct {
+	n    int
+	dist []float64
+}
+
+// NewWeightedMatrix builds the matrix with Floyd–Warshall in O(|V|³) time.
+func NewWeightedMatrix(g *graph.Graph, weight func(u, v graph.NodeID) float64) *WeightedMatrix {
+	n := g.NumNodes()
+	w := &WeightedMatrix{n: n, dist: make([]float64, n*n)}
+	inf := math.Inf(1)
+	for i := range w.dist {
+		w.dist[i] = inf
+	}
+	for v := 0; v < n; v++ {
+		w.dist[v*n+v] = 0
+	}
+	g.Edges(func(u, v graph.NodeID) bool {
+		if c := weight(u, v); c < w.dist[u*n+v] {
+			w.dist[u*n+v] = c
+		}
+		return true
+	})
+	for k := 0; k < n; k++ {
+		kRow := w.dist[k*n : k*n+n]
+		for i := 0; i < n; i++ {
+			dik := w.dist[i*n+k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			iRow := w.dist[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				if c := dik + kRow[j]; c < iRow[j] {
+					iRow[j] = c
+				}
+			}
+		}
+	}
+	return w
+}
+
+// Dist implements Oracle semantics over rounded weights: the weighted
+// distance truncated to int, or graph.Unreachable.
+func (w *WeightedMatrix) Dist(u, v graph.NodeID) int {
+	d := w.dist[u*w.n+v]
+	if math.IsInf(d, 1) {
+		return graph.Unreachable
+	}
+	return int(d)
+}
+
+// Weight returns the exact weighted distance (math.Inf(1) if unreachable).
+func (w *WeightedMatrix) Weight(u, v graph.NodeID) float64 { return w.dist[u*w.n+v] }

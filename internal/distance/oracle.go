@@ -1,0 +1,48 @@
+// Package distance implements the distance substrates behind bounded
+// simulation: the all-pairs distance matrix, on-demand bounded BFS, and
+// 2-hop cover labeling — the three variants compared in Fig. 17(a,b) of the
+// paper — behind one Oracle interface.
+package distance
+
+import "gpm/internal/graph"
+
+// Oracle answers hop-distance queries over a fixed data graph. Dist returns
+// the length of the shortest path from u to v, 0 when u == v, and
+// graph.Unreachable when no path exists.
+type Oracle interface {
+	Dist(u, v graph.NodeID) int
+}
+
+// Iterator is the optional fast path implemented by oracles that can
+// enumerate neighbourhoods directly, which lets the matcher avoid the
+// O(|V|²) pair scan.
+//
+// Both methods use nonempty-path semantics: a node w is visited when it is
+// connected to v by a path of length >= 1 and <= bound; in particular v
+// itself is visited iff it lies on a cycle of length <= bound. fn receives
+// the shortest such length; returning false stops the walk.
+type Iterator interface {
+	// DescNonempty visits descendants of v (nodes w with a nonempty path v→w).
+	DescNonempty(v graph.NodeID, bound int, fn func(w graph.NodeID, d int) bool)
+	// AncNonempty visits ancestors of v (nodes w with a nonempty path w→v).
+	AncNonempty(v graph.NodeID, bound int, fn func(w graph.NodeID, d int) bool)
+}
+
+// NonemptyDist returns the length of the shortest nonempty path from u to v:
+// Dist(u, v) when u != v, and the girth through u (shortest cycle containing
+// u) when u == v. This is the "len(π) >= 1" semantics of pattern-edge bounds.
+func NonemptyDist(o Oracle, g *graph.Graph, u, v graph.NodeID) int {
+	if u != v {
+		return o.Dist(u, v)
+	}
+	best := graph.Unreachable
+	for _, c := range g.Out(u) {
+		if c == u {
+			return 1 // self-loop
+		}
+		if d := o.Dist(c, u); d != graph.Unreachable && d+1 < best {
+			best = d + 1
+		}
+	}
+	return best
+}

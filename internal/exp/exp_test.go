@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config { return Config{Scale: 0.008, Seed: 3} }
+
+func TestEveryDriverProducesRows(t *testing.T) {
+	cfg := tiny()
+	drivers := map[string]func(Config) Table{
+		"Fig16a": Fig16a, "Fig16b": Fig16b, "Fig16c": Fig16c,
+		"Fig17a": Fig17a, "Fig17b": Fig17b, "Fig17c": Fig17c, "Fig17d": Fig17d,
+		"Fig18a": Fig18a, "Fig18b": Fig18b, "Fig18c": Fig18c, "Fig18d": Fig18d,
+		"Fig19a": Fig19a, "Fig19b": Fig19b, "Fig19c": Fig19c, "Fig19d": Fig19d,
+		"Fig20a": Fig20a, "Fig20b": Fig20b, "Fig20c": Fig20c, "Fig20d": Fig20d,
+		"Fig20e": Fig20e, "Fig20f": Fig20f,
+		"Table1": Table1Witnesses,
+	}
+	for name, fn := range drivers {
+		tab := fn(cfg)
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", name)
+		}
+		if len(tab.Columns) == 0 {
+			t.Errorf("%s: no columns", name)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s: row width %d != %d columns", name, len(row), len(tab.Columns))
+			}
+		}
+	}
+}
+
+func TestTable1WitnessShape(t *testing.T) {
+	tab := Table1Witnesses(tiny())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 witness families, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] != "0" {
+			t.Errorf("%s: |ΔM| after e1 = %s, want 0", row[0], row[2])
+		}
+		if row[3] == "0" {
+			t.Errorf("%s: |ΔM| after e2 = 0, want Θ(n)", row[0])
+		}
+	}
+}
+
+func TestMinDeltaReductionMonotone(t *testing.T) {
+	tab := Fig20a(tiny())
+	for _, row := range tab.Rows {
+		var orig, relevant int
+		if _, err := fmt.Sscan(row[1], &orig); err != nil {
+			t.Fatalf("bad original %q", row[1])
+		}
+		if _, err := fmt.Sscan(row[3], &relevant); err != nil {
+			t.Fatalf("bad relevant %q", row[3])
+		}
+		if relevant > orig {
+			t.Errorf("α=%s: relevant %d exceeds original %d", row[0], relevant, orig)
+		}
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := Table{
+		Title:   "sample",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow(1, "x")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== sample ==", "a", "bb", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	if Default().Scale <= 0 || Paper().Scale != 1.0 {
+		t.Fatal("config scales wrong")
+	}
+}

@@ -1,0 +1,298 @@
+// Package fixtures constructs the paper's running examples as in-memory
+// graphs and patterns: the drug-trafficking ring of Fig. 1, the social
+// matching patterns of Fig. 2, the FriendFeed fragment of Fig. 4, and the
+// adversarial unboundedness witnesses of Figs. 6, 11 and 15. Tests assert
+// the paper's stated matches on them; the example programs walk through
+// them; benchmarks use the witnesses for the boundedness table.
+package fixtures
+
+import (
+	"fmt"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// DrugRing builds pattern P0 and data graph G0 of Fig. 1 with m assistant
+// managers, each supervising a 3-level chain of field workers. The last AM
+// (Am) doubles as the secretary S. Expected maximum match: B→{boss},
+// AM→{A1..Am}, S→{Am}, FW→all W nodes.
+//
+// Pattern nodes are returned in order B=0, AM=1, S=2, FW=3.
+func DrugRing(m int) (*pattern.Pattern, *graph.Graph) {
+	p := pattern.New()
+	b := p.AddNode(pattern.Label("B"))
+	am := p.AddNode(pattern.Label("AM"))
+	s := p.AddNode(pattern.Predicate{}.Where("s", pattern.OpEQ, graph.Int(1)))
+	fw := p.AddNode(pattern.Label("FW"))
+	mustEdge(p, b, am, 1)  // boss oversees AMs directly
+	mustEdge(p, am, b, 1)  // AMs report directly to the boss
+	mustEdge(p, am, fw, 3) // AM supervises FWs within 3 hops
+	mustEdge(p, fw, am, 3) // FWs report back within 3 hops
+	mustEdge(p, b, s, 1)   // boss reaches the secretary directly
+	mustEdge(p, s, fw, 1)  // secretary conveys to top-level FWs
+
+	g := graph.New()
+	boss := g.AddNode(graph.NewTuple("label", `"B"`))
+	for i := 0; i < m; i++ {
+		t := graph.NewTuple("label", `"AM"`)
+		if i == m-1 {
+			t["s"] = graph.Int(1) // Am is both AM and S
+		}
+		a := g.AddNode(t)
+		mustAdd(g, boss, a)
+		mustAdd(g, a, boss)
+		// A 3-deep worker chain w1→w2→w3 with the tail reporting back, so
+		// every worker is within 3 hops of its AM and vice versa.
+		prev := a
+		var chain []graph.NodeID
+		for d := 0; d < 3; d++ {
+			w := g.AddNode(graph.NewTuple("label", `"FW"`))
+			mustAdd(g, prev, w)
+			chain = append(chain, w)
+			prev = w
+		}
+		mustAdd(g, chain[2], a)
+	}
+	return p, g
+}
+
+// TeamFormation builds pattern P1 and data graph G1 of Fig. 2 (the start-up
+// team example). Pattern nodes: A=0, SE=1, HR=2, DM=3 with edges A→SE(2),
+// A→HR(2), SE→DM(1), HR→DM(2), DM→A(*). Expected match: A→{a},
+// SE→{se, hrse}, HR→{hr, hrse}, DM→{dml, dmr}.
+//
+// It returns the pattern, graph, and the ids of the named G1 nodes.
+func TeamFormation() (*pattern.Pattern, *graph.Graph, map[string]graph.NodeID) {
+	p := pattern.New()
+	// Job titles are boolean role attributes so the dual-role node (HR, SE)
+	// can satisfy both the SE and the HR predicate with plain conjunctions.
+	a := p.AddNode(pattern.Label("A"))
+	se := p.AddNode(pattern.Predicate{}.Where("se", pattern.OpEQ, graph.Int(1)))
+	hr := p.AddNode(pattern.Predicate{}.Where("hr", pattern.OpEQ, graph.Int(1)))
+	dm := p.AddNode(pattern.Predicate{}.
+		Where("dm", pattern.OpEQ, graph.Int(1)).
+		Where("hobby", pattern.OpEQ, graph.String("golf")))
+	mustEdge(p, a, se, 2)
+	mustEdge(p, a, hr, 2)
+	mustEdge(p, se, dm, 1)
+	mustEdge(p, hr, dm, 2)
+	mustEdge(p, dm, a, pattern.Unbounded)
+
+	g := graph.New()
+	ids := map[string]graph.NodeID{}
+	ids["a"] = g.AddNode(graph.NewTuple("label", `"A"`))
+	ids["se"] = g.AddNode(graph.NewTuple("se", "1"))
+	ids["hr"] = g.AddNode(graph.NewTuple("hr", "1"))
+	ids["hrse"] = g.AddNode(graph.NewTuple("hr", "1", "se", "1"))
+	ids["dml"] = g.AddNode(graph.NewTuple("dm", "1", "hobby", `"golf"`))
+	ids["dmr"] = g.AddNode(graph.NewTuple("dm", "1", "hobby", `"golf"`))
+
+	mustAdd(g, ids["a"], ids["hr"])     // A→HR (1 ≤ 2)
+	mustAdd(g, ids["hr"], ids["hrse"])  // A→HR→(HR,SE): SE within 2
+	mustAdd(g, ids["a"], ids["se"])     // A→SE (1 ≤ 2)
+	mustAdd(g, ids["se"], ids["dmr"])   // SE→DM (1)
+	mustAdd(g, ids["hrse"], ids["dml"]) // (HR,SE)→DM (1)
+	mustAdd(g, ids["hr"], ids["dml"])   // HR reaches a DM within 2
+	mustAdd(g, ids["dml"], ids["a"])    // DM→A (*)
+	mustAdd(g, ids["dmr"], ids["dml"])  // dmr reaches A via dml
+	return p, g, ids
+}
+
+// Collaboration builds pattern P2 and data graph G2 of Fig. 2 (the Twitter
+// collaboration example). Pattern nodes: CS=0, Bio=1, Med=2, Soc=3 with
+// edges CS→Bio(2), CS→Soc(3), CS→Med(*), Med→CS(*), Bio→Soc(2), Bio→Med(3).
+// Expected match: CS→{DB}, Bio→{Gen, Eco}, Med→{Med}, Soc→{Soc}; AI is
+// excluded because it cannot reach Soc within 3 hops. Dropping edge
+// (DB, Gen) (returned as cut) makes the match empty (Example 2.2(3)).
+func Collaboration() (*pattern.Pattern, *graph.Graph, map[string]graph.NodeID, graph.Update) {
+	p := pattern.New()
+	cs := p.AddNode(pattern.Predicate{}.Where("dept", pattern.OpEQ, graph.String("CS")))
+	bio := p.AddNode(pattern.Predicate{}.Where("dept", pattern.OpEQ, graph.String("Bio")))
+	med := p.AddNode(pattern.Label("Med"))
+	soc := p.AddNode(pattern.Label("Soc"))
+	mustEdge(p, cs, bio, 2)
+	mustEdge(p, cs, soc, 3)
+	mustEdge(p, cs, med, pattern.Unbounded)
+	mustEdge(p, med, cs, pattern.Unbounded)
+	mustEdge(p, bio, soc, 2)
+	mustEdge(p, bio, med, 3)
+
+	g := graph.New()
+	ids := map[string]graph.NodeID{}
+	ids["DB"] = g.AddNode(graph.NewTuple("label", `"DB"`, "dept", `"CS"`))
+	ids["AI"] = g.AddNode(graph.NewTuple("label", `"AI"`, "dept", `"CS"`))
+	ids["Gen"] = g.AddNode(graph.NewTuple("label", `"Gen"`, "dept", `"Bio"`))
+	ids["Eco"] = g.AddNode(graph.NewTuple("label", `"Eco"`, "dept", `"Bio"`))
+	ids["Chem"] = g.AddNode(graph.NewTuple("label", `"Chem"`, "dept", `"Chem"`))
+	ids["Med"] = g.AddNode(graph.NewTuple("label", `"Med"`))
+	ids["Soc"] = g.AddNode(graph.NewTuple("label", `"Soc"`))
+
+	mustAdd(g, ids["DB"], ids["Gen"])  // CS→Bio in 1
+	mustAdd(g, ids["Gen"], ids["Eco"]) // Bio chain
+	mustAdd(g, ids["Eco"], ids["Soc"]) // Bio→Soc in ≤2 for both Gen and Eco
+	mustAdd(g, ids["Soc"], ids["Med"]) // Bio→Med in ≤3
+	mustAdd(g, ids["Med"], ids["DB"])  // Med→CS (*)
+	mustAdd(g, ids["AI"], ids["Chem"]) // AI's only outlet: cannot reach Soc in 3
+	mustAdd(g, ids["Chem"], ids["AI"])
+	return p, g, ids, graph.Delete(ids["DB"], ids["Gen"])
+}
+
+// FriendFeed builds pattern P3 and data graph G3 of Fig. 4, plus the edge
+// insertions e1..e5. Pattern nodes: CTO=0, DB=1, Bio=2 with edges CTO→DB(2),
+// CTO→Bio(1), DB→Bio(1), DB→CTO(*).
+//
+// The initial maximum match is CTO→{Ann}, DB→{Pat, Dan}, Bio→{Bill, Mat,
+// Tom} (Bio is a leaf pattern node, so every biologist matches — the
+// paper's Fig. 5 result graph shows only the nodes connected to other
+// matches). Applying e2 = insert(Don→Pat) makes Don a new CTO match; the
+// remaining insertions only add result-graph edges, mirroring Example 4.2.
+func FriendFeed() (*pattern.Pattern, *graph.Graph, map[string]graph.NodeID, []graph.Update) {
+	p := pattern.New()
+	cto := p.AddNode(pattern.Label("CTO"))
+	db := p.AddNode(pattern.Label("DB"))
+	bio := p.AddNode(pattern.Label("Bio"))
+	mustEdge(p, cto, db, 2)
+	mustEdge(p, cto, bio, 1)
+	mustEdge(p, db, bio, 1)
+	mustEdge(p, db, cto, pattern.Unbounded)
+
+	g := graph.New()
+	ids := map[string]graph.NodeID{}
+	add := func(name, job string) graph.NodeID {
+		id := g.AddNode(graph.NewTuple("name", `"`+name+`"`, "label", `"`+job+`"`))
+		ids[name] = id
+		return id
+	}
+	ann := add("Ann", "CTO")
+	pat := add("Pat", "DB")
+	dan := add("Dan", "DB")
+	bill := add("Bill", "Bio")
+	mat := add("Mat", "Bio")
+	don := add("Don", "CTO")
+	tom := add("Tom", "Bio")
+	ross := add("Ross", "Med")
+
+	mustAdd(g, ann, pat)  // CTO→DB in 1
+	mustAdd(g, ann, bill) // CTO→Bio in 1
+	mustAdd(g, pat, bill) // DB→Bio in 1
+	mustAdd(g, pat, dan)
+	mustAdd(g, dan, mat) // DB→Bio in 1
+	mustAdd(g, dan, ann) // DB→CTO (*)
+	mustAdd(g, don, tom) // Don already sees a biologist...
+	mustAdd(g, tom, ross)
+	mustAdd(g, ross, don)
+
+	// Don lacks a DB researcher within 2 hops until e2 lands.
+	updates := []graph.Update{
+		graph.Insert(ross, dan), // e1
+		graph.Insert(don, pat),  // e2: the insertion Example 4.2 walks through
+		graph.Insert(pat, don),  // e3
+		graph.Insert(dan, tom),  // e4
+		graph.Insert(mat, ross), // e5
+	}
+	return p, g, ids, updates
+}
+
+// SimWitness builds the unboundedness witness of Fig. 6 (Theorem 5.1(1)):
+// a single-node pattern with a self-loop over label a, and a graph of two
+// disjoint n-node chains. Inserting e1 = (v_n, v_{n+1}) keeps the match
+// empty; also inserting e2 = (v_{2n}, v_1) closes a cycle and makes all 2n
+// nodes match at once — |ΔM| jumps from 0 to 2n on a unit update.
+func SimWitness(n int) (*pattern.Pattern, *graph.Graph, e1e2) {
+	p := pattern.New()
+	v := p.AddNode(pattern.Label("a"))
+	mustEdge(p, v, v, 1)
+
+	g := graph.New()
+	nodes := make([]graph.NodeID, 2*n)
+	for i := range nodes {
+		nodes[i] = g.AddNode(graph.NewTuple("label", `"a"`))
+	}
+	for i := 0; i+1 < n; i++ {
+		mustAdd(g, nodes[i], nodes[i+1])
+		mustAdd(g, nodes[n+i], nodes[n+i+1])
+	}
+	return p, g, e1e2{
+		E1: graph.Insert(nodes[n-1], nodes[n]),
+		E2: graph.Insert(nodes[2*n-1], nodes[0]),
+	}
+}
+
+// e1e2 carries the two adversarial unit insertions of a witness family.
+type e1e2 struct{ E1, E2 graph.Update }
+
+// BSimWitness builds the unboundedness witness of Fig. 11 (Theorem 6.1(1)):
+// pattern u→t labeled *, and a graph of three chains — u-labeled u1..ul,
+// bridge nodes v1..vm, t-labeled t1..tn — plus edge (tn, u1). E1 and E2
+// splice the chains together; only after both do all u-nodes match.
+func BSimWitness(l, m, n int) (*pattern.Pattern, *graph.Graph, e1e2) {
+	p := pattern.New()
+	u := p.AddNode(pattern.Label("u"))
+	t := p.AddNode(pattern.Label("t"))
+	mustEdge(p, u, t, pattern.Unbounded)
+
+	g := graph.New()
+	us := addChain(g, l, "u")
+	vs := addChain(g, m, "v")
+	ts := addChain(g, n, "t")
+	mustAdd(g, ts[n-1], us[0])
+	return p, g, e1e2{
+		E1: graph.Insert(us[l-1], vs[0]),
+		E2: graph.Insert(vs[m-1], ts[0]),
+	}
+}
+
+// IsoWitness builds the unboundedness witness of Fig. 15 (Theorem 7.1(2)):
+// a tree pattern rooted at a0 with an m-chain and an n-chain of a-labeled
+// nodes, and a forest of an isolated a0 plus a 2m-chain and a 2n-chain.
+// Only after both E1 = (a0, a1) and E2 = (a0, a_{2m+1}) are inserted does
+// the graph contain a subgraph isomorphic to the pattern.
+func IsoWitness(m, n int) (*pattern.Pattern, *graph.Graph, e1e2) {
+	p := pattern.New()
+	root := p.AddNode(pattern.Label("a"))
+	prev := root
+	for i := 0; i < m; i++ {
+		w := p.AddNode(pattern.Label("a"))
+		mustEdge(p, prev, w, 1)
+		prev = w
+	}
+	prev = root
+	for i := 0; i < n; i++ {
+		w := p.AddNode(pattern.Label("a"))
+		mustEdge(p, prev, w, 1)
+		prev = w
+	}
+
+	g := graph.New()
+	a0 := g.AddNode(graph.NewTuple("label", `"a"`))
+	left := addChain(g, 2*m, "a")
+	right := addChain(g, 2*n, "a")
+	return p, g, e1e2{
+		E1: graph.Insert(a0, left[0]),
+		E2: graph.Insert(a0, right[0]),
+	}
+}
+
+func addChain(g *graph.Graph, n int, label string) []graph.NodeID {
+	nodes := make([]graph.NodeID, n)
+	for i := range nodes {
+		nodes[i] = g.AddNode(graph.NewTuple("label", `"`+label+`"`))
+		if i > 0 {
+			mustAdd(g, nodes[i-1], nodes[i])
+		}
+	}
+	return nodes
+}
+
+func mustEdge(p *pattern.Pattern, u, v pattern.NodeID, bound int) {
+	if err := p.AddEdge(u, v, bound); err != nil {
+		panic(fmt.Sprintf("fixtures: %v", err))
+	}
+}
+
+func mustAdd(g *graph.Graph, u, v graph.NodeID) {
+	if _, err := g.AddEdge(u, v); err != nil {
+		panic(fmt.Sprintf("fixtures: %v", err))
+	}
+}

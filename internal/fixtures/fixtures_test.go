@@ -1,0 +1,94 @@
+package fixtures
+
+import (
+	"testing"
+
+	"gpm/internal/graph"
+)
+
+func TestDrugRingShape(t *testing.T) {
+	p, g := DrugRing(4)
+	if p.NumNodes() != 4 || p.NumEdges() != 6 {
+		t.Fatalf("pattern shape: %v", p)
+	}
+	// 1 boss + 4 AMs + 4 chains of 3 workers.
+	if g.NumNodes() != 1+4+12 {
+		t.Fatalf("graph nodes = %d", g.NumNodes())
+	}
+	// Am (the last AM) carries the secretary attribute.
+	s := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, ok := g.Attrs(v).Get("s"); ok {
+			s++
+		}
+	}
+	if s != 1 {
+		t.Fatalf("%d secretary nodes, want 1", s)
+	}
+}
+
+func TestTeamFormationIDs(t *testing.T) {
+	_, g, ids := TeamFormation()
+	for _, name := range []string{"a", "se", "hr", "hrse", "dml", "dmr"} {
+		if _, ok := ids[name]; !ok {
+			t.Fatalf("missing id %q", name)
+		}
+	}
+	if g.NumNodes() != len(ids) {
+		t.Fatalf("nodes = %d, ids = %d", g.NumNodes(), len(ids))
+	}
+}
+
+func TestCollaborationCutIsEdge(t *testing.T) {
+	_, g, ids, cut := Collaboration()
+	if cut.Op != graph.DeleteEdge {
+		t.Fatal("cut should be a deletion")
+	}
+	if !g.HasEdge(cut.From, cut.To) {
+		t.Fatal("cut edge missing from graph")
+	}
+	if cut.From != ids["DB"] || cut.To != ids["Gen"] {
+		t.Fatal("cut should be (DB, Gen)")
+	}
+}
+
+func TestFriendFeedUpdatesAreNew(t *testing.T) {
+	_, g, _, ups := FriendFeed()
+	if len(ups) != 5 {
+		t.Fatalf("want e1..e5, got %d", len(ups))
+	}
+	for _, up := range ups {
+		if up.Op != graph.InsertEdge {
+			t.Fatalf("update %v should be an insertion", up)
+		}
+		if g.HasEdge(up.From, up.To) {
+			t.Fatalf("update %v already present", up)
+		}
+	}
+}
+
+func TestWitnessShapes(t *testing.T) {
+	p, g, ups := SimWitness(5)
+	if p.NumNodes() != 1 || g.NumNodes() != 10 {
+		t.Fatal("SimWitness shape wrong")
+	}
+	if g.HasEdge(ups.E1.From, ups.E1.To) || g.HasEdge(ups.E2.From, ups.E2.To) {
+		t.Fatal("witness edges should not pre-exist")
+	}
+
+	p2, g2, _ := BSimWitness(3, 4, 5)
+	if p2.NumEdges() != 1 || g2.NumNodes() != 12 {
+		t.Fatal("BSimWitness shape wrong")
+	}
+
+	p3, g3, _ := IsoWitness(2, 3)
+	if p3.NumNodes() != 1+2+3 {
+		t.Fatalf("IsoWitness pattern nodes = %d", p3.NumNodes())
+	}
+	if g3.NumNodes() != 1+4+6 {
+		t.Fatalf("IsoWitness graph nodes = %d", g3.NumNodes())
+	}
+	if !p3.IsDAG() {
+		t.Fatal("IsoWitness pattern should be a tree")
+	}
+}

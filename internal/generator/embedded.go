@@ -1,0 +1,156 @@
+package generator
+
+import (
+	"math/rand"
+	"sort"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// EmbeddedPattern generates a pattern that is guaranteed to occur in g: it
+// samples a connected subgraph of |Vp| nodes by walking real edges, derives
+// each pattern node's predicate from its anchor node's attributes, and only
+// emits pattern edges whose anchors are joined by a real edge (bound 1
+// edges) or a real path within the bound. This mirrors the paper's
+// "manually constructed patterns to find popular videos": subgraph
+// isomorphism has at least one witness, and bounded simulation at least the
+// anchors.
+//
+// Returns nil if g has no suitable connected region (pathological inputs).
+func EmbeddedPattern(g *graph.Graph, params PatternParams, seed int64) *pattern.Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	if n == 0 || params.Nodes < 1 {
+		return nil
+	}
+	// Sample anchors: grow from a random start along out-edges (falling
+	// back to in-edges), collecting distinct nodes.
+	var anchors []graph.NodeID
+	seen := map[graph.NodeID]bool{}
+	for attempt := 0; attempt < 30 && len(anchors) < params.Nodes; attempt++ {
+		anchors = anchors[:0]
+		for k := range seen {
+			delete(seen, k)
+		}
+		cur := rng.Intn(n)
+		anchors = append(anchors, cur)
+		seen[cur] = true
+		for len(anchors) < params.Nodes {
+			next := graph.NodeID(-1)
+			// Prefer a fresh out-neighbour of a random chosen anchor.
+			from := anchors[rng.Intn(len(anchors))]
+			if outs := g.Out(from); len(outs) > 0 {
+				for t := 0; t < len(outs) && next < 0; t++ {
+					if w := outs[rng.Intn(len(outs))]; !seen[w] {
+						next = w
+					}
+				}
+			}
+			if next < 0 {
+				for _, w := range g.In(from) {
+					if !seen[w] {
+						next = w
+						break
+					}
+				}
+			}
+			if next < 0 {
+				break // stuck; retry with another start
+			}
+			anchors = append(anchors, next)
+			seen[next] = true
+		}
+	}
+	if len(anchors) == 0 {
+		return nil
+	}
+	params.Nodes = len(anchors)
+
+	p := pattern.New()
+	for _, v := range anchors {
+		p.AddNode(predicateFromTuple(g.Attrs(v), params.Preds, rng))
+	}
+	// Edges between anchors that are really connected: direct edges first
+	// (valid at any bound), then, when k > 1, pairs within k hops.
+	k := params.K
+	if k < 1 {
+		k = 1
+	}
+	type cand struct {
+		i, j, bound int
+	}
+	var cands []cand
+	for i, vi := range anchors {
+		for j, vj := range anchors {
+			if i == j {
+				continue
+			}
+			if g.HasEdge(vi, vj) {
+				cands = append(cands, cand{i, j, 1})
+			} else if k > 1 {
+				if d := boundedDist(g, vi, vj, k); d <= k {
+					cands = append(cands, cand{i, j, d})
+				}
+			}
+		}
+	}
+	// Direct edges first (they give subgraph isomorphism a witness, as the
+	// paper's hand-built patterns do), path edges after; shuffled within
+	// each group.
+	rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].bound < cands[b].bound })
+	for _, c := range cands {
+		if p.NumEdges() >= params.Edges {
+			break
+		}
+		bound := c.bound
+		if k > 1 && bound < k {
+			bound = c.bound + rng.Intn(k-c.bound+1) // any bound ≥ the real distance
+		}
+		if k == 1 {
+			bound = 1
+		}
+		mustAddPatternEdge(p, c.i, c.j, bound)
+	}
+	if p.NumEdges() == 0 && len(cands) > 0 {
+		mustAddPatternEdge(p, cands[0].i, cands[0].j, cands[0].bound)
+	}
+	return p
+}
+
+// predicateFromTuple derives a predicate satisfied by the tuple: equality
+// on strings, one-sided comparisons on numerics.
+func predicateFromTuple(t graph.Tuple, nPreds int, rng *rand.Rand) pattern.Predicate {
+	keys := t.Keys()
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	if nPreds > len(keys) {
+		nPreds = len(keys)
+	}
+	var pred pattern.Predicate
+	for _, k := range keys[:nPreds] {
+		v := t[k]
+		if v.Kind() == graph.KindString {
+			pred = pred.Where(k, pattern.OpEQ, v)
+		} else if rng.Intn(2) == 0 {
+			pred = pred.Where(k, pattern.OpLE, v)
+		} else {
+			pred = pred.Where(k, pattern.OpGE, v)
+		}
+	}
+	return pred
+}
+
+// boundedDist returns the hop distance from u to v if within bound, else
+// bound+1.
+func boundedDist(g *graph.Graph, u, v graph.NodeID, bound int) int {
+	found := bound + 1
+	g.BFSWithin(u, graph.Forward, bound, func(w graph.NodeID, d int) bool {
+		if w == v && d >= 1 {
+			found = d
+			return false
+		}
+		return true
+	})
+	return found
+}

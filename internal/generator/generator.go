@@ -1,0 +1,244 @@
+// Package generator produces the synthetic workloads of Section 8: random
+// attributed digraphs (with densification-law evolution and degree-biased
+// update streams), the YouTube-like and Citation-like datasets standing in
+// for the paper's crawled real-life data, and random b-patterns controlled
+// by the paper's four parameters (|Vp|, |Ep|, |pred|, k).
+//
+// Everything is deterministic given a seed, so experiments and tests are
+// reproducible.
+package generator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gpm/internal/graph"
+)
+
+// Synthetic generates a random digraph with n nodes and m edges whose nodes
+// draw attribute values from schema. Edge endpoints are degree-biased
+// (preferential attachment flavoured), which reproduces the skew of the
+// linkage-generation models the paper cites.
+func Synthetic(n, m int, schema Schema, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n, m)
+	for i := 0; i < n; i++ {
+		g.AddNode(schema.Sample(rng))
+	}
+	addPreferentialEdges(g, m, rng)
+	return g
+}
+
+// SyntheticAlpha generates a densification-law graph: |E| = ⌈|V|^alpha⌉,
+// the parameterization of Fig. 20(a).
+func SyntheticAlpha(n int, alpha float64, schema Schema, seed int64) *graph.Graph {
+	m := int(math.Ceil(math.Pow(float64(n), alpha)))
+	return Synthetic(n, m, schema, seed)
+}
+
+// addPreferentialEdges inserts m distinct edges, biasing both endpoints
+// towards nodes that already have edges (each endpoint is the better-degree
+// of two uniform draws — a cheap preferential-attachment approximation).
+func addPreferentialEdges(g *graph.Graph, m int, rng *rand.Rand) {
+	n := g.NumNodes()
+	if n < 2 {
+		return
+	}
+	pick := func() graph.NodeID {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if g.Degree(a) >= g.Degree(b) {
+			return a
+		}
+		return b
+	}
+	for added := 0; added < m; {
+		u, v := pick(), pick()
+		if u == v {
+			continue
+		}
+		ok, _ := g.AddEdge(u, v)
+		if ok {
+			added++
+		} else if g.NumEdges() >= n*(n-1) {
+			return // graph is complete; cannot place more edges
+		}
+	}
+}
+
+// Updates generates nIns insertions and nDel deletions against g, selecting
+// endpoints with the degree bias of the paper's protocol: prefer
+// high-degree nodes, inserting edges between unconnected pairs and deleting
+// existing edges. The updates are returned unapplied, shuffled together.
+func Updates(g *graph.Graph, nIns, nDel int, seed int64) []graph.Update {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	var ups []graph.Update
+	pick := func() graph.NodeID {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if g.Degree(a) >= g.Degree(b) {
+			return a
+		}
+		return b
+	}
+	pending := make(map[[2]graph.NodeID]bool) // true: will exist, false: will not
+	exists := func(u, v graph.NodeID) bool {
+		if st, ok := pending[[2]graph.NodeID{u, v}]; ok {
+			return st
+		}
+		return g.HasEdge(u, v)
+	}
+	for tries := 0; len(ups) < nIns && tries < 50*nIns+100; tries++ {
+		u, v := pick(), pick()
+		if u == v || exists(u, v) {
+			continue
+		}
+		pending[[2]graph.NodeID{u, v}] = true
+		ups = append(ups, graph.Insert(u, v))
+	}
+	edges := g.EdgeList()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		if nDel == 0 {
+			break
+		}
+		if !exists(e[0], e[1]) {
+			continue
+		}
+		pending[[2]graph.NodeID{e[0], e[1]}] = false
+		ups = append(ups, graph.Delete(e[0], e[1]))
+		nDel--
+	}
+	rng.Shuffle(len(ups), func(i, j int) { ups[i], ups[j] = ups[j], ups[i] })
+	return ups
+}
+
+// Schema describes how node attribute tuples are sampled.
+type Schema []AttrSpec
+
+// AttrSpec describes one attribute: either a categorical choice among
+// Values, or a numeric range [Lo, Hi] when Values is empty.
+type AttrSpec struct {
+	Name   string
+	Values []string // categorical labels; sampled uniformly
+	Lo, Hi int64    // numeric range when Values is empty
+}
+
+// Sample draws one attribute tuple.
+func (s Schema) Sample(rng *rand.Rand) graph.Tuple {
+	t := make(graph.Tuple, len(s))
+	for _, a := range s {
+		if len(a.Values) > 0 {
+			t[a.Name] = graph.String(a.Values[rng.Intn(len(a.Values))])
+		} else {
+			t[a.Name] = graph.Int(a.Lo + rng.Int63n(a.Hi-a.Lo+1))
+		}
+	}
+	return t
+}
+
+// DefaultSchema is the schema used by the synthetic experiments: a small
+// label alphabet plus two numeric attributes, mirroring the paper's "set of
+// node attributes" generator parameter.
+func DefaultSchema(labels int) Schema {
+	vals := make([]string, labels)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("L%d", i)
+	}
+	return Schema{
+		{Name: "label", Values: vals},
+		{Name: "age", Lo: 0, Hi: 1000},
+		{Name: "rating", Lo: 0, Hi: 5},
+	}
+}
+
+// YouTube generates the stand-in for the paper's crawled YouTube graph
+// (14,829 nodes, 58,901 edges): a preferential-attachment digraph at the
+// given scale (scale 1.0 reproduces the full size) whose nodes carry the
+// video attributes the paper's patterns predicate over: category, age
+// (days), rating, length (seconds) and uploader.
+func YouTube(scale float64, seed int64) *graph.Graph {
+	n := int(float64(14829) * scale)
+	m := int(float64(58901) * scale)
+	if n < 10 {
+		n = 10
+	}
+	if m < 20 {
+		m = 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+	categories := []string{"Music", "Comedy", "Politics", "Science", "People", "Sports", "Film", "News"}
+	uploaders := make([]string, 64)
+	for i := range uploaders {
+		uploaders[i] = fmt.Sprintf("user%02d", i)
+	}
+	// A handful of named uploaders appear in the paper's sample patterns.
+	uploaders[0], uploaders[1], uploaders[2] = "FWPB", "Ascrodin", "Gisburgh"
+	g := graph.NewWithCapacity(n, m)
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Tuple{
+			"category": graph.String(categories[rng.Intn(len(categories))]),
+			"age":      graph.Int(rng.Int63n(2000)),
+			"rating":   graph.Float(float64(rng.Intn(50)) / 10),
+			"length":   graph.Int(10 + rng.Int63n(600)),
+			"uploader": graph.String(uploaders[rng.Intn(len(uploaders))]),
+		})
+	}
+	addPreferentialEdges(g, m, rng)
+	return g
+}
+
+// Citation generates the stand-in for the paper's citation network (17,292
+// nodes, 61,351 edges): papers are layered by year and cite mostly earlier
+// years (a near-DAG with in-degree skew), with attributes field, year and
+// venue.
+func Citation(scale float64, seed int64) *graph.Graph {
+	n := int(float64(17292) * scale)
+	m := int(float64(61351) * scale)
+	if n < 10 {
+		n = 10
+	}
+	if m < 20 {
+		m = 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fields := []string{"DB", "AI", "OS", "Net", "Arch", "Theory", "Bio", "Med"}
+	venues := []string{"SIGMOD", "VLDB", "ICDE", "KDD", "NIPS", "SOSP"}
+	g := graph.NewWithCapacity(n, m)
+	years := make([]int64, n)
+	for i := 0; i < n; i++ {
+		years[i] = 1980 + int64(i*30/n) // publication years increase with id
+		g.AddNode(graph.Tuple{
+			"field": graph.String(fields[rng.Intn(len(fields))]),
+			"year":  graph.Int(years[i]),
+			"venue": graph.String(venues[rng.Intn(len(venues))]),
+		})
+	}
+	// Citations point from newer papers to older ones with degree bias; a
+	// few percent of edges are "noise" (same-year or forward references),
+	// which keeps the graph from being a pure DAG, as in real data.
+	for added := 0; added < m; {
+		u := rng.Intn(n)
+		var v int
+		if rng.Intn(100) < 95 {
+			if u == 0 {
+				continue
+			}
+			a, b := rng.Intn(u), rng.Intn(u)
+			if g.InDegree(a) >= g.InDegree(b) {
+				v = a
+			} else {
+				v = b
+			}
+		} else {
+			v = rng.Intn(n)
+		}
+		if u == v {
+			continue
+		}
+		if ok, _ := g.AddEdge(u, v); ok {
+			added++
+		}
+	}
+	return g
+}

@@ -1,0 +1,186 @@
+package generator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	g := Synthetic(500, 2000, DefaultSchema(8), 1)
+	if g.NumNodes() != 500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 2000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Every node has the schema's attributes.
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, a := range []string{"label", "age", "rating"} {
+			if _, ok := g.Attrs(v).Get(a); !ok {
+				t.Fatalf("node %d missing %q", v, a)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(200, 600, DefaultSchema(4), 7)
+	b := Synthetic(200, 600, DefaultSchema(4), 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different edge counts")
+	}
+	a.Edges(func(u, v graph.NodeID) bool {
+		if !b.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) differs across same-seed runs", u, v)
+		}
+		return true
+	})
+}
+
+func TestSyntheticAlphaDensification(t *testing.T) {
+	g1 := SyntheticAlpha(300, 1.0, DefaultSchema(4), 1)
+	g2 := SyntheticAlpha(300, 1.2, DefaultSchema(4), 1)
+	if g2.NumEdges() <= g1.NumEdges() {
+		t.Fatalf("α=1.2 should be denser: %d vs %d", g2.NumEdges(), g1.NumEdges())
+	}
+}
+
+func TestUpdatesAreApplicable(t *testing.T) {
+	g := Synthetic(300, 900, DefaultSchema(4), 3)
+	ups := Updates(g, 50, 50, 4)
+	nIns, nDel := 0, 0
+	for _, up := range ups {
+		if up.Op == graph.InsertEdge {
+			if g.HasEdge(up.From, up.To) {
+				t.Fatalf("insertion %v already present", up)
+			}
+			nIns++
+		} else {
+			nDel++
+		}
+	}
+	if nIns != 50 || nDel != 50 {
+		t.Fatalf("got %d inserts, %d deletes", nIns, nDel)
+	}
+	eff, err := g.ApplyAll(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff) != 100 {
+		t.Fatalf("only %d/100 updates effective", len(eff))
+	}
+}
+
+func TestUpdatesNoDuplicateEdits(t *testing.T) {
+	g := Synthetic(100, 300, DefaultSchema(4), 5)
+	ups := Updates(g, 40, 40, 6)
+	seen := map[[2]graph.NodeID]bool{}
+	for _, up := range ups {
+		key := [2]graph.NodeID{up.From, up.To}
+		if seen[key] {
+			t.Fatalf("edge %v updated twice", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestYouTubeAndCitationSchemas(t *testing.T) {
+	yt := YouTube(0.01, 1)
+	if yt.NumNodes() == 0 || yt.NumEdges() == 0 {
+		t.Fatal("empty YouTube graph")
+	}
+	if _, ok := yt.Attrs(0).Get("category"); !ok {
+		t.Fatal("YouTube node missing category")
+	}
+	ci := Citation(0.01, 1)
+	if _, ok := ci.Attrs(0).Get("year"); !ok {
+		t.Fatal("Citation node missing year")
+	}
+	// Citation years are monotone in node id (layered generation).
+	y0, _ := ci.Attrs(0).Get("year")
+	yn, _ := ci.Attrs(ci.NumNodes() - 1).Get("year")
+	if y0.IntVal() > yn.IntVal() {
+		t.Fatal("citation years not layered")
+	}
+}
+
+func TestCitationMostlyBackward(t *testing.T) {
+	g := Citation(0.02, 2)
+	backward := 0
+	total := 0
+	g.Edges(func(u, v graph.NodeID) bool {
+		total++
+		if v < u {
+			backward++
+		}
+		return true
+	})
+	if total == 0 || float64(backward)/float64(total) < 0.8 {
+		t.Fatalf("citations should be mostly backward: %d/%d", backward, total)
+	}
+}
+
+func TestPatternGeneratorProducesValidPatterns(t *testing.T) {
+	g := YouTube(0.01, 3)
+	for seed := int64(0); seed < 20; seed++ {
+		p := Pattern(g, PatternParams{Nodes: 5, Edges: 7, Preds: 2, K: 3, StarFraction: 20}, seed)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if p.NumNodes() != 5 {
+			t.Fatalf("seed %d: %d nodes", seed, p.NumNodes())
+		}
+		if p.NumEdges() < 4 { // at least the spanning edges
+			t.Fatalf("seed %d: %d edges", seed, p.NumEdges())
+		}
+		// Every predicate is anchored: at least one node satisfies it.
+		for u := 0; u < p.NumNodes(); u++ {
+			found := false
+			for v := 0; v < g.NumNodes() && !found; v++ {
+				found = p.Pred(u).Eval(g.Attrs(v))
+			}
+			if !found {
+				t.Fatalf("seed %d: pattern node %d unsatisfiable", seed, u)
+			}
+		}
+	}
+}
+
+func TestDAGPatternIsAcyclic(t *testing.T) {
+	g := YouTube(0.01, 3)
+	f := func(seed int64) bool {
+		p := DAGPattern(g, PatternParams{Nodes: 5, Edges: 7, Preds: 2, K: 3}, seed)
+		return p.IsDAG()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPatternBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		p := RandomPattern(4, 6, 3, 3, seed)
+		for _, e := range p.Edges() {
+			if e.Bound != pattern.Unbounded && (e.Bound < 1 || e.Bound > 3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomGraphRespectsSize(t *testing.T) {
+	g := RandomGraph(30, 80, 3, 9)
+	if g.NumNodes() != 30 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+}

@@ -1,0 +1,159 @@
+package generator
+
+import (
+	"math/rand"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// PatternParams are the paper's four pattern-generator parameters: the
+// number of nodes |Vp|, edges |Ep|, the average number of predicates per
+// node |pred|, and the bound k (each edge draws a bound from [k-c, k] for a
+// small c; k = 1 yields a normal pattern; Unbounded sprinkles * edges).
+type PatternParams struct {
+	Nodes, Edges int
+	Preds        int
+	K            int
+	// StarFraction is the probability (percent) that an edge is unbounded
+	// when K > 1. The paper's b-patterns mix bounded and * edges.
+	StarFraction int
+}
+
+// Pattern generates a random connected pattern whose predicates are sampled
+// from the attribute tuples of g, so that candidate sets are nonempty and
+// matches plausibly exist (the paper's generator "produces meaningful
+// pattern graphs" the same way).
+func Pattern(g *graph.Graph, params PatternParams, seed int64) *pattern.Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	p := pattern.New()
+	n := g.NumNodes()
+	for i := 0; i < params.Nodes; i++ {
+		// Anchor each pattern node's predicate on a random data node: pick
+		// |pred| attributes and constrain them to that node's values (with
+		// equality for strings, and a >=/<= split for numerics).
+		t := g.Attrs(rng.Intn(n))
+		keys := t.Keys()
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		np := params.Preds
+		if np > len(keys) {
+			np = len(keys)
+		}
+		var pred pattern.Predicate
+		for _, k := range keys[:np] {
+			v := t[k]
+			if v.Kind() == graph.KindString {
+				pred = pred.Where(k, pattern.OpEQ, v)
+			} else if rng.Intn(2) == 0 {
+				pred = pred.Where(k, pattern.OpLE, v)
+			} else {
+				pred = pred.Where(k, pattern.OpGE, v)
+			}
+		}
+		p.AddNode(pred)
+	}
+	bound := func() int {
+		if params.K <= 1 {
+			return 1
+		}
+		if params.StarFraction > 0 && rng.Intn(100) < params.StarFraction {
+			return pattern.Unbounded
+		}
+		c := params.K / 2
+		if c < 1 {
+			c = 1
+		}
+		return params.K - rng.Intn(c)
+	}
+	// Spanning edges first so the pattern is weakly connected, then extras.
+	for i := 1; i < params.Nodes; i++ {
+		j := rng.Intn(i)
+		if rng.Intn(2) == 0 {
+			mustAddPatternEdge(p, j, i, bound())
+		} else {
+			mustAddPatternEdge(p, i, j, bound())
+		}
+	}
+	for p.NumEdges() < params.Edges && p.NumEdges() < params.Nodes*(params.Nodes-1) {
+		u, v := rng.Intn(params.Nodes), rng.Intn(params.Nodes)
+		if u == v {
+			continue
+		}
+		if _, ok := p.Bound(u, v); ok {
+			continue
+		}
+		mustAddPatternEdge(p, u, v, bound())
+	}
+	return p
+}
+
+// DAGPattern generates a random acyclic pattern (edges only from lower to
+// higher node id), used by the IncMatch+dag experiments.
+func DAGPattern(g *graph.Graph, params PatternParams, seed int64) *pattern.Pattern {
+	p := Pattern(g, params, seed)
+	q := pattern.New()
+	for u := 0; u < p.NumNodes(); u++ {
+		q.AddNode(p.Pred(u))
+	}
+	for _, e := range p.Edges() {
+		u, v := e.From, e.To
+		if u > v {
+			u, v = v, u
+		}
+		if u == v {
+			continue
+		}
+		if _, ok := q.Bound(u, v); !ok {
+			mustAddPatternEdge(q, u, v, e.Bound)
+		}
+	}
+	return q
+}
+
+func mustAddPatternEdge(p *pattern.Pattern, u, v, bound int) {
+	if err := p.AddEdge(u, v, bound); err != nil {
+		panic("generator: " + err.Error())
+	}
+}
+
+// RandomGraph is a small-alphabet uniform random graph for property tests:
+// n nodes labeled from `labels` letters, m random edges.
+func RandomGraph(n, m, labels int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithCapacity(n, m)
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Tuple{"label": graph.String(string(rune('a' + rng.Intn(labels))))})
+	}
+	for tries := 0; g.NumEdges() < m && tries < 20*m+100; tries++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n)) //nolint:errcheck // in-range by construction
+	}
+	return g
+}
+
+// RandomPattern is a small-alphabet random pattern for property tests, with
+// nodes labeled from the same alphabet as RandomGraph and bounds in
+// [1, maxBound] (0 bound slots become * with probability 1/6 when maxBound
+// > 1). Patterns may be cyclic.
+func RandomPattern(nodes, edges, labels, maxBound int, seed int64) *pattern.Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	p := pattern.New()
+	for i := 0; i < nodes; i++ {
+		p.AddNode(pattern.Label(string(rune('a' + rng.Intn(labels)))))
+	}
+	for tries := 0; p.NumEdges() < edges && tries < 20*edges+100; tries++ {
+		u, v := rng.Intn(nodes), rng.Intn(nodes)
+		if _, ok := p.Bound(u, v); ok {
+			continue
+		}
+		b := 1
+		if maxBound > 1 {
+			if rng.Intn(6) == 0 {
+				b = pattern.Unbounded
+			} else {
+				b = 1 + rng.Intn(maxBound)
+			}
+		}
+		mustAddPatternEdge(p, u, v, b)
+	}
+	return p
+}

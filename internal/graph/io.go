@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format used by the CLI tools:
+//
+//	# comment
+//	node 0 name="Ann" job="CTO"
+//	node 1 name="Pat" job="DB"
+//	edge 0 1
+//
+// Node ids must be declared densely starting at 0 (any order); attribute
+// values follow ParseValue rules.
+
+// Write serializes g in the text format.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(bw, "node %d", v); err != nil {
+			return err
+		}
+		t := g.attrs[v]
+		for _, k := range t.Keys() {
+			if _, err := fmt.Fprintf(bw, " %s=%s", k, t[k].Quote()); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.EdgeList() {
+		if _, err := fmt.Fprintf(bw, "edge %d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	type nodeDecl struct {
+		id    int
+		attrs Tuple
+	}
+	var nodes []nodeDecl
+	var edges [][2]int
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := splitFields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: node needs an id", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node id %q", lineNo, fields[1])
+			}
+			attrs := Tuple{}
+			for _, kv := range fields[2:] {
+				eq := strings.IndexByte(kv, '=')
+				if eq <= 0 {
+					return nil, fmt.Errorf("graph: line %d: bad attribute %q", lineNo, kv)
+				}
+				attrs[kv[:eq]] = ParseValue(kv[eq+1:])
+			}
+			nodes = append(nodes, nodeDecl{id, attrs})
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: edge needs two endpoints", lineNo)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge endpoints", lineNo)
+			}
+			edges = append(edges, [2]int{u, v})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g := NewWithCapacity(len(nodes), len(edges))
+	byID := make([]Tuple, len(nodes))
+	for _, nd := range nodes {
+		if nd.id < 0 || nd.id >= len(nodes) {
+			return nil, fmt.Errorf("graph: node id %d out of dense range [0,%d)", nd.id, len(nodes))
+		}
+		if byID[nd.id] != nil {
+			return nil, fmt.Errorf("graph: duplicate node id %d", nd.id)
+		}
+		byID[nd.id] = nd.attrs
+	}
+	for _, t := range byID {
+		g.AddNode(t)
+	}
+	for _, e := range edges {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// splitFields splits on spaces but keeps quoted segments (containing spaces)
+// intact within key="..." attributes.
+func splitFields(line string) []string {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				fields = append(fields, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		fields = append(fields, cur.String())
+	}
+	return fields
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Update text format, one update per line:
+//
+//	insert 3 7
+//	delete 7 3
+
+// WriteUpdates serializes a batch of updates.
+func WriteUpdates(w io.Writer, ups []Update) error {
+	bw := bufio.NewWriter(w)
+	for _, up := range ups {
+		op := "insert"
+		if up.Op == DeleteEdge {
+			op = "delete"
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d %d\n", op, up.From, up.To); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUpdates parses a batch of updates.
+func ReadUpdates(r io.Reader) ([]Update, error) {
+	sc := bufio.NewScanner(r)
+	var ups []Update
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: updates line %d: want 'insert|delete from to'", lineNo)
+		}
+		var op Op
+		switch fields[0] {
+		case "insert":
+			op = InsertEdge
+		case "delete":
+			op = DeleteEdge
+		default:
+			return nil, fmt.Errorf("graph: updates line %d: unknown op %q", lineNo, fields[0])
+		}
+		from, err1 := strconv.Atoi(fields[1])
+		to, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: updates line %d: bad endpoints", lineNo)
+		}
+		ups = append(ups, Update{Op: op, From: from, To: to})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ups, nil
+}

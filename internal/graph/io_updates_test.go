@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUpdatesRoundTrip(t *testing.T) {
+	ups := []Update{Insert(0, 1), Delete(2, 3), Insert(4, 5)}
+	var buf bytes.Buffer
+	if err := WriteUpdates(&buf, ups); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadUpdates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ups) {
+		t.Fatalf("got %d updates, want %d", len(got), len(ups))
+	}
+	for i := range ups {
+		if got[i] != ups[i] {
+			t.Fatalf("update %d: %v != %v", i, got[i], ups[i])
+		}
+	}
+}
+
+func TestReadUpdatesSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\ninsert 1 2\n# mid\ndelete 2 1\n"
+	got, err := ReadUpdates(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d updates", len(got))
+	}
+}
+
+func TestReadUpdatesRejectsMalformed(t *testing.T) {
+	for _, src := range []string{
+		"insert 1",
+		"frob 1 2",
+		"insert x 2",
+		"delete 1 y",
+	} {
+		if _, err := ReadUpdates(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadUpdates(%q): want error", src)
+		}
+	}
+}

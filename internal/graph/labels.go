@@ -1,0 +1,39 @@
+package graph
+
+import "fmt"
+
+// Edge labels ("colors") model typed relationships — the extension the
+// paper's Section 2.2 remark sketches: pattern edges can then require that
+// a relationship chain in the data graph carries one relationship type
+// throughout (e.g., a chain of "friend" edges, not a mix of "friend" and
+// "cites"). Unlabeled edges carry the empty label.
+
+// SetEdgeLabel attaches a label to the existing edge (u, v).
+func (g *Graph) SetEdgeLabel(u, v NodeID, label string) error {
+	if !g.HasEdge(u, v) {
+		return fmt.Errorf("graph: SetEdgeLabel(%d, %d): no such edge", u, v)
+	}
+	if g.elabels == nil {
+		g.elabels = make(map[[2]NodeID]string)
+	}
+	if label == "" {
+		delete(g.elabels, [2]NodeID{u, v})
+	} else {
+		g.elabels[[2]NodeID{u, v}] = label
+	}
+	return nil
+}
+
+// EdgeLabel returns the label of edge (u, v) ("" when unlabeled or absent).
+func (g *Graph) EdgeLabel(u, v NodeID) string {
+	return g.elabels[[2]NodeID{u, v}]
+}
+
+// AddLabeledEdge inserts the edge and sets its label in one step.
+func (g *Graph) AddLabeledEdge(u, v NodeID, label string) (added bool, err error) {
+	added, err = g.AddEdge(u, v)
+	if err != nil {
+		return false, err
+	}
+	return added, g.SetEdgeLabel(u, v, label)
+}

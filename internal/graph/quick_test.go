@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraphFrom builds a small graph from fuzz bytes: each byte pair is
+// an edge between nodes mod n.
+func randomGraphFrom(edges []byte, n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(nil)
+	}
+	for i := 0; i+1 < len(edges); i += 2 {
+		g.AddEdge(int(edges[i])%n, int(edges[i+1])%n) //nolint:errcheck
+	}
+	return g
+}
+
+// Property: BFS distances satisfy the triangle inequality over edges:
+// dist[w] <= dist[v] + 1 for every edge (v, w), and dist is 0 only at the
+// source (unless on a cycle... dist[src] is defined as 0).
+func TestQuickBFSTriangle(t *testing.T) {
+	f := func(edges []byte) bool {
+		const n = 10
+		g := randomGraphFrom(edges, n)
+		dist := make([]int, n)
+		g.BFSFrom(0, Forward, dist)
+		ok := dist[0] == 0
+		g.Edges(func(v, w NodeID) bool {
+			if dist[v] != Unreachable && dist[w] > dist[v]+1 {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: forward distance from u to v equals reverse distance from v to
+// u (BFS direction symmetry).
+func TestQuickBFSDirectionSymmetry(t *testing.T) {
+	f := func(edges []byte, a, b uint8) bool {
+		const n = 9
+		g := randomGraphFrom(edges, n)
+		u, v := int(a)%n, int(b)%n
+		fwd := make([]int, n)
+		rev := make([]int, n)
+		g.BFSFrom(u, Forward, fwd)
+		g.BFSFrom(v, Reverse, rev)
+		return fwd[v] == rev[u]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: applying a batch of updates and then their inverses in reverse
+// order restores the exact edge set.
+func TestQuickUpdateInverseRoundTrip(t *testing.T) {
+	f := func(edges []byte, ops []byte) bool {
+		const n = 8
+		g := randomGraphFrom(edges, n)
+		before := g.Clone()
+		var applied []Update
+		for i := 0; i+2 < len(ops); i += 3 {
+			up := Update{Op: Op(ops[i] % 2), From: int(ops[i+1]) % n, To: int(ops[i+2]) % n}
+			changed, err := g.Apply(up)
+			if err != nil {
+				return false
+			}
+			if changed {
+				applied = append(applied, up)
+			}
+		}
+		for i := len(applied) - 1; i >= 0; i-- {
+			if changed, _ := g.Apply(applied[i].Inverse()); !changed {
+				return false
+			}
+		}
+		if g.NumEdges() != before.NumEdges() {
+			return false
+		}
+		same := true
+		before.Edges(func(u, v NodeID) bool {
+			if !g.HasEdge(u, v) {
+				same = false
+				return false
+			}
+			return true
+		})
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: topological ranks are monotone along edges — r(u) >= r(v)+1 for
+// an edge u→v with finite ranks, and ∞ propagates backwards.
+func TestQuickRankMonotonicity(t *testing.T) {
+	f := func(edges []byte) bool {
+		const n = 10
+		g := randomGraphFrom(edges, n)
+		r := g.TopologicalRanks()
+		ok := true
+		g.Edges(func(u, v NodeID) bool {
+			if u == v {
+				return true
+			}
+			if r[v] == RankInfinite {
+				if r[u] != RankInfinite {
+					ok = false
+				}
+			} else if r[u] != RankInfinite && r[u] < r[v]+1 {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization round-trips arbitrary attributed graphs.
+func TestQuickIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		g := New()
+		for i := 0; i < n; i++ {
+			t := Tuple{}
+			for a := 0; a < rng.Intn(3); a++ {
+				switch rng.Intn(3) {
+				case 0:
+					t["s"] = String("v w") // embedded space
+				case 1:
+					t["i"] = Int(int64(rng.Intn(100) - 50))
+				default:
+					t["f"] = Float(float64(rng.Intn(100)) / 4)
+				}
+			}
+			g.AddNode(t)
+		}
+		for e := 0; e < rng.Intn(12); e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n)) //nolint:errcheck
+		}
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: shape changed", trial)
+		}
+		for v := 0; v < n; v++ {
+			want, have := g.Attrs(v), got.Attrs(v)
+			if len(want) != len(have) {
+				t.Fatalf("trial %d: node %d attrs differ", trial, v)
+			}
+			for k, wv := range want {
+				if hv, ok := have[k]; !ok || !hv.Equal(wv) || hv.Kind() != wv.Kind() {
+					t.Fatalf("trial %d: node %d attr %s: %v != %v", trial, v, k, hv, wv)
+				}
+			}
+		}
+	}
+}

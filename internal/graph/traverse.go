@@ -1,0 +1,127 @@
+package graph
+
+// Unreachable is the distance reported for unreachable node pairs. It is
+// larger than any path length in any graph this library can hold.
+const Unreachable = int(^uint(0) >> 2)
+
+// Dir selects a traversal direction.
+type Dir uint8
+
+const (
+	// Forward follows out-edges (descendants).
+	Forward Dir = iota
+	// Reverse follows in-edges (ancestors).
+	Reverse
+)
+
+func (g *Graph) adj(d Dir, v NodeID) []NodeID {
+	if d == Forward {
+		return g.out[v]
+	}
+	return g.in[v]
+}
+
+// BFSFrom computes single-source shortest-path (hop) distances from src in
+// direction d, writing them into dist, which must have length NumNodes().
+// Entries for unreachable nodes are set to Unreachable.
+func (g *Graph) BFSFrom(src NodeID, d Dir, dist []int) {
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, 64)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		nd := dist[v] + 1
+		for _, w := range g.adj(d, v) {
+			if dist[w] == Unreachable {
+				dist[w] = nd
+				queue = append(queue, w)
+			}
+		}
+	}
+}
+
+// BFSWithin visits every node within the given hop bound of src (excluding
+// src itself unless it lies on a cycle back to itself — src is reported with
+// distance 0 first), calling fn(node, dist). bound may be Unreachable for an
+// unbounded traversal. Returning false stops the walk.
+func (g *Graph) BFSWithin(src NodeID, d Dir, bound int, fn func(v NodeID, dist int) bool) {
+	if bound < 0 {
+		return
+	}
+	dist := map[NodeID]int{src: 0}
+	queue := []NodeID{src}
+	if !fn(src, 0) {
+		return
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		nd := dist[v] + 1
+		if nd > bound {
+			continue
+		}
+		for _, w := range g.adj(d, v) {
+			if _, seen := dist[w]; !seen {
+				dist[w] = nd
+				if !fn(w, nd) {
+					return
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+}
+
+// Dist returns the hop distance from u to v, or Unreachable. It runs a BFS
+// bounded by the target — convenient for tests and small graphs; algorithms
+// use the distance oracles in internal/distance instead.
+func (g *Graph) Dist(u, v NodeID) int {
+	if u == v {
+		return 0
+	}
+	found := Unreachable
+	g.BFSWithin(u, Forward, Unreachable, func(w NodeID, d int) bool {
+		if w == v {
+			found = d
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ReachableWithin reports whether v is reachable from u by a path of length
+// at least 1 and at most bound (use Unreachable for "any length"). Note the
+// nonempty-path semantics of the paper: an edge (u, u) requirement maps to a
+// cycle through u, not to the trivial empty path.
+func (g *Graph) ReachableWithin(u, v NodeID, bound int) bool {
+	if bound < 1 {
+		return false
+	}
+	ok := false
+	dist := map[NodeID]int{u: 0}
+	queue := []NodeID{u}
+	for len(queue) > 0 && !ok {
+		x := queue[0]
+		queue = queue[1:]
+		nd := dist[x] + 1
+		if nd > bound {
+			continue
+		}
+		for _, w := range g.adj(Forward, x) {
+			if w == v {
+				ok = true
+				break
+			}
+			if _, seen := dist[w]; !seen {
+				dist[w] = nd
+				queue = append(queue, w)
+			}
+		}
+	}
+	return ok
+}

@@ -1,0 +1,75 @@
+package graph
+
+import "fmt"
+
+// Op is the kind of a unit update.
+type Op uint8
+
+const (
+	// InsertEdge adds an edge.
+	InsertEdge Op = iota
+	// DeleteEdge removes an edge.
+	DeleteEdge
+)
+
+func (o Op) String() string {
+	if o == InsertEdge {
+		return "+"
+	}
+	return "-"
+}
+
+// Update is a unit update: a single edge insertion or deletion, the ΔG unit
+// of Section 4. Batch updates are []Update (insertions and deletions mixed).
+type Update struct {
+	Op       Op
+	From, To NodeID
+}
+
+func (u Update) String() string { return fmt.Sprintf("%s(%d,%d)", u.Op, u.From, u.To) }
+
+// Inverse returns the update that undoes u.
+func (u Update) Inverse() Update {
+	inv := u
+	if u.Op == InsertEdge {
+		inv.Op = DeleteEdge
+	} else {
+		inv.Op = InsertEdge
+	}
+	return inv
+}
+
+// Apply executes a single update against g, reporting whether the graph
+// changed (inserting an existing edge or deleting a missing one is a no-op).
+func (g *Graph) Apply(u Update) (changed bool, err error) {
+	switch u.Op {
+	case InsertEdge:
+		return g.AddEdge(u.From, u.To)
+	case DeleteEdge:
+		return g.RemoveEdge(u.From, u.To), nil
+	default:
+		return false, fmt.Errorf("graph: unknown update op %d", u.Op)
+	}
+}
+
+// ApplyAll executes a batch of updates in order and returns the updates that
+// actually changed the graph (the effective ΔG).
+func (g *Graph) ApplyAll(us []Update) ([]Update, error) {
+	eff := make([]Update, 0, len(us))
+	for _, u := range us {
+		changed, err := g.Apply(u)
+		if err != nil {
+			return eff, err
+		}
+		if changed {
+			eff = append(eff, u)
+		}
+	}
+	return eff, nil
+}
+
+// Insert is shorthand for an edge-insertion update.
+func Insert(u, v NodeID) Update { return Update{Op: InsertEdge, From: u, To: v} }
+
+// Delete is shorthand for an edge-deletion update.
+func Delete(u, v NodeID) Update { return Update{Op: DeleteEdge, From: u, To: v} }

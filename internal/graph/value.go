@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the dynamic type of an attribute Value.
+type Kind uint8
+
+const (
+	// KindString is a textual attribute value.
+	KindString Kind = iota
+	// KindInt is a 64-bit signed integer attribute value.
+	KindInt
+	// KindFloat is a 64-bit floating-point attribute value.
+	KindFloat
+)
+
+// Value is an attribute value attached to a data-graph node. The paper models
+// node content as a tuple (A1=a1, ..., An=an) of constants; Value is one such
+// constant. Values of different kinds never compare equal, except that ints
+// and floats compare numerically.
+type Value struct {
+	kind Kind
+	str  string
+	num  int64
+	flt  float64
+}
+
+// String constructs a string Value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Int constructs an integer Value.
+func Int(i int64) Value { return Value{kind: KindInt, num: i} }
+
+// Float constructs a floating-point Value.
+func Float(f float64) Value { return Value{kind: KindFloat, flt: f} }
+
+// ParseValue interprets s as an int, then a float, then a string. Quoted
+// strings ("...") always parse as strings with the quotes stripped.
+func ParseValue(s string) Value {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return String(s[1 : len(s)-1])
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	return String(s)
+}
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// Str returns the string content (valid for KindString).
+func (v Value) Str() string { return v.str }
+
+// Num returns the numeric content as a float64 (valid for KindInt/KindFloat).
+func (v Value) Num() float64 {
+	if v.kind == KindInt {
+		return float64(v.num)
+	}
+	return v.flt
+}
+
+// IntVal returns the integer content (valid for KindInt).
+func (v Value) IntVal() int64 { return v.num }
+
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.flt, 'g', -1, 64)
+	default:
+		return v.str
+	}
+}
+
+// Quote renders v so that ParseValue round-trips it, kind included: strings
+// are quoted, and whole-number floats keep a decimal point so they do not
+// read back as ints.
+func (v Value) Quote() string {
+	switch v.kind {
+	case KindString:
+		return `"` + v.str + `"`
+	case KindFloat:
+		s := v.String()
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	default:
+		return v.String()
+	}
+}
+
+// Compare returns -1, 0 or +1 ordering v against w, and ok=false when the two
+// kinds are not comparable (string vs numeric).
+func (v Value) Compare(w Value) (cmp int, ok bool) {
+	vs, ws := v.kind == KindString, w.kind == KindString
+	switch {
+	case vs && ws:
+		return strings.Compare(v.str, w.str), true
+	case vs != ws:
+		return 0, false
+	case v.kind == KindInt && w.kind == KindInt:
+		switch {
+		case v.num < w.num:
+			return -1, true
+		case v.num > w.num:
+			return 1, true
+		}
+		return 0, true
+	default:
+		a, b := v.Num(), w.Num()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		}
+		return 0, true
+	}
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+func (v Value) Equal(w Value) bool {
+	c, ok := v.Compare(w)
+	return ok && c == 0
+}
+
+// Tuple is the attribute tuple fA(v) of a node: a set of named constants.
+// The zero value is an empty tuple ready to use.
+type Tuple map[string]Value
+
+// NewTuple builds a tuple from alternating key, value pairs where values are
+// parsed with ParseValue. It panics on an odd number of arguments (programmer
+// error in literals).
+func NewTuple(kv ...string) Tuple {
+	if len(kv)%2 != 0 {
+		panic("graph.NewTuple: odd number of key/value arguments")
+	}
+	t := make(Tuple, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		t[kv[i]] = ParseValue(kv[i+1])
+	}
+	return t
+}
+
+// Get returns the value of attribute a and whether it is present.
+func (t Tuple) Get(a string) (Value, bool) {
+	v, ok := t[a]
+	return v, ok
+}
+
+// Clone returns an independent copy of t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	for k, v := range t {
+		c[k] = v
+	}
+	return c
+}
+
+// Keys returns the attribute names in sorted order.
+func (t Tuple) Keys() []string {
+	ks := make([]string, 0, len(t))
+	for k := range t {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func (t Tuple) String() string {
+	var b strings.Builder
+	for i, k := range t.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, t[k].Quote())
+	}
+	return b.String()
+}

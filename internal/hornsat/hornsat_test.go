@@ -1,0 +1,75 @@
+package hornsat
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpm/internal/generator"
+	"gpm/internal/pattern"
+	"gpm/internal/simulation"
+)
+
+func TestInitialEqualsSimulation(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := generator.RandomGraph(14, 28, 3, seed)
+		p := generator.RandomPattern(4, 5, 3, 1, seed+100)
+		e, err := New(p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := simulation.Maximum(p, g)
+		if got := e.Result(); !got.Equal(want) {
+			t.Fatalf("seed %d: hornsat=%v simulation=%v", seed, got, want)
+		}
+	}
+}
+
+func TestUpdatesEqualSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := generator.RandomGraph(12, 20, 3, int64(trial))
+		p := generator.RandomPattern(4, 5, 3, 1, int64(trial)+200)
+		e, err := New(p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 20; step++ {
+			u, v := rng.Intn(12), rng.Intn(12)
+			if u == v {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				e.Insert(u, v)
+			} else {
+				e.Delete(u, v)
+			}
+			want := simulation.Maximum(p, g)
+			if got := e.Result(); !got.Equal(want) {
+				t.Fatalf("trial %d step %d: hornsat=%v batch=%v", trial, step, got, want)
+			}
+		}
+	}
+}
+
+func TestRejectsBoundedPattern(t *testing.T) {
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("a"))
+	b := p.AddNode(pattern.Label("b"))
+	p.AddEdge(a, b, 2)
+	g := generator.RandomGraph(5, 6, 2, 1)
+	if _, err := New(p, g); err == nil {
+		t.Fatal("want error for bounded pattern")
+	}
+}
+
+func TestClausePairsMaterialized(t *testing.T) {
+	g := generator.RandomGraph(20, 60, 2, 9)
+	p := generator.RandomPattern(3, 4, 2, 1, 10)
+	e, err := New(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ClausePairs == 0 {
+		t.Fatal("expected a materialized clause instance")
+	}
+}

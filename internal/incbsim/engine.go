@@ -1,0 +1,266 @@
+// Package incbsim implements incremental bounded simulation (Section 6.3):
+// the unit-update algorithms IncBMatch⁺/IncBMatch⁻ and the batch algorithm
+// IncBMatch, plus the distance-matrix baseline IncBMatchᵐ of Fan et
+// al. 2010 that the paper compares against in Fig. 19.
+//
+// Following Proposition 6.1, the engine reduces bounded simulation in G to
+// simulation over the pair graph: for every pattern edge (u, u') with bound
+// k it tracks, per match v of u, how many matches w of u' lie within k hops
+// (the ss pairs of Table III). A graph update flips the within-bound status
+// of node pairs only inside the km-hop neighbourhood of the touched edge
+// (km = the maximum pattern bound), so the engine re-examines exactly that
+// affected area: support counters are adjusted for flipped ss pairs,
+// invalidations cascade as in incremental simulation, and new cs/cc pairs
+// seed a candidate-closure promotion.
+//
+// Distance queries run against either a live bounded-BFS view or a
+// maintained landmark index (Section 6.2/6.4) — the engine keeps the index
+// exact by routing edge updates through it.
+package incbsim
+
+import (
+	"fmt"
+
+	"gpm/internal/distance"
+	"gpm/internal/graph"
+	"gpm/internal/landmark"
+	"gpm/internal/pattern"
+	"gpm/internal/rel"
+	"gpm/internal/resultgraph"
+)
+
+// Stats tallies the affected area AFF touched by incremental maintenance.
+type Stats struct {
+	Removals       int64
+	Promotions     int64
+	CounterUpdates int64
+	ClosureSize    int64
+	PairsExamined  int64 // node pairs whose within-bound status was re-checked
+}
+
+// Total returns a scalar |AFF| measure.
+func (s Stats) Total() int64 {
+	return s.Removals + s.Promotions + s.CounterUpdates + s.ClosureSize + s.PairsExamined
+}
+
+// Engine maintains the maximum bounded-simulation match of a b-pattern
+// over a mutable data graph. The engine owns the graph: all edge updates
+// must go through Insert/Delete/Batch.
+type Engine struct {
+	p        *pattern.Pattern
+	g        *graph.Graph
+	edges    []pattern.Edge
+	outEdges [][]int
+	inEdges  [][]int
+	km       int // max pattern bound (Unbounded if any * edge)
+
+	sat   rel.Relation
+	match rel.Relation
+	// cnt[e][v]: for v ∈ match(src(e)), the number of w ∈ match(tgt(e))
+	// within bound(e) of v by a nonempty path.
+	cnt []map[graph.NodeID]int32
+
+	bfs   *distance.BFS   // live bounded-BFS view of g (enumeration + fallback Dist)
+	lmIdx *landmark.Index // optional maintained landmark index for Dist
+
+	stats Stats
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithLandmarkIndex makes the engine maintain and query a landmark +
+// distance-vector index (Section 6.2) instead of answering single-pair
+// distance queries by BFS. The index must have been built over the same
+// graph passed to New.
+func WithLandmarkIndex(ix *landmark.Index) Option {
+	return func(e *Engine) { e.lmIdx = ix }
+}
+
+// New builds an engine for b-pattern p over graph g, computing the initial
+// match with the batch Match algorithm's refinement.
+func New(p *pattern.Pattern, g *graph.Graph, options ...Option) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.HasColors() {
+		return nil, fmt.Errorf("incbsim: colored patterns are batch-only (use core.MatchColored)")
+	}
+	e := &Engine{p: p, g: g, edges: p.Edges(), km: p.MaxBound(), bfs: distance.NewBFS(g)}
+	for _, o := range options {
+		o(e)
+	}
+	if e.lmIdx != nil && e.lmIdx.Graph() != g {
+		return nil, fmt.Errorf("incbsim: landmark index built over a different graph")
+	}
+	np := p.NumNodes()
+	e.outEdges = make([][]int, np)
+	e.inEdges = make([][]int, np)
+	for i, pe := range e.edges {
+		e.outEdges[pe.From] = append(e.outEdges[pe.From], i)
+		e.inEdges[pe.To] = append(e.inEdges[pe.To], i)
+	}
+	e.sat = rel.NewRelation(np)
+	for u := 0; u < np; u++ {
+		pred := p.Pred(u)
+		for v := 0; v < g.NumNodes(); v++ {
+			if pred.Eval(g.Attrs(v)) {
+				e.sat[u].Add(v)
+			}
+		}
+	}
+	e.rebuild()
+	return e, nil
+}
+
+// dist returns the exact nonempty-path distance from u to v on the current
+// graph, through the landmark index when present.
+func (e *Engine) dist(u, v graph.NodeID) int {
+	if e.lmIdx != nil {
+		return distance.NonemptyDist(e.lmIdx, e.g, u, v)
+	}
+	return distance.NonemptyDist(e.bfs, e.g, u, v)
+}
+
+// within reports whether w lies within bound of v by a nonempty path.
+func (e *Engine) within(v, w graph.NodeID, bound int) bool {
+	return pattern.WithinBound(e.dist(v, w), bound)
+}
+
+// rebuild recomputes match() and all counters from scratch.
+func (e *Engine) rebuild() {
+	np := e.p.NumNodes()
+	e.match = make(rel.Relation, np)
+	for u := 0; u < np; u++ {
+		e.match[u] = e.sat[u].Clone()
+	}
+	e.cnt = make([]map[graph.NodeID]int32, len(e.edges))
+	for i, pe := range e.edges {
+		e.cnt[i] = make(map[graph.NodeID]int32, e.match[pe.From].Len())
+		tgt := e.match[pe.To]
+		for v := range e.match[pe.From] {
+			c := int32(0)
+			e.bfs.DescNonempty(v, pe.Bound, func(w graph.NodeID, d int) bool {
+				if tgt.Has(w) {
+					c++
+				}
+				return true
+			})
+			e.cnt[i][v] = c
+		}
+	}
+	var queue []pair
+	for i, pe := range e.edges {
+		for v, c := range e.cnt[i] {
+			if c == 0 && e.match[pe.From].Has(v) {
+				e.match[pe.From].Remove(v)
+				queue = append(queue, pair{pe.From, v})
+			}
+		}
+	}
+	e.cascade(queue)
+}
+
+type pair struct {
+	u int
+	v graph.NodeID
+}
+
+// cascade propagates match removals: each removal decrements the support
+// counters of match ancestors within the relevant bounds.
+func (e *Engine) cascade(queue []pair) {
+	for len(queue) > 0 {
+		rm := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		e.stats.Removals++
+		for _, ei := range e.outEdges[rm.u] {
+			delete(e.cnt[ei], rm.v)
+		}
+		for _, ei := range e.inEdges[rm.u] {
+			pe := e.edges[ei]
+			src := e.match[pe.From]
+			e.bfs.AncNonempty(rm.v, pe.Bound, func(w graph.NodeID, d int) bool {
+				if !src.Has(w) {
+					return true
+				}
+				e.cnt[ei][w]--
+				e.stats.CounterUpdates++
+				if e.cnt[ei][w] == 0 {
+					src.Remove(w)
+					queue = append(queue, pair{pe.From, w})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// Pattern returns the engine's pattern.
+func (e *Engine) Pattern() *pattern.Pattern { return e.p }
+
+// Graph returns the engine's data graph (do not mutate directly).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Stats returns cumulative affected-area statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats clears the statistics.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// MatchSets exposes the per-node greatest bounded simulation (read-only).
+func (e *Engine) MatchSets() rel.Relation { return e.match }
+
+// IsMatch reports whether (u, v) is in the match structure.
+func (e *Engine) IsMatch(u int, v graph.NodeID) bool { return e.match[u].Has(v) }
+
+// IsCandidate reports whether v ∈ candt(u).
+func (e *Engine) IsCandidate(u int, v graph.NodeID) bool {
+	return e.sat[u].Has(v) && !e.match[u].Has(v)
+}
+
+// Result returns Mksim(P, G) under the totality convention.
+func (e *Engine) Result() rel.Relation {
+	for _, s := range e.match {
+		if s.Len() == 0 {
+			return rel.NewRelation(len(e.match))
+		}
+	}
+	return e.match.Clone()
+}
+
+// ResultGraph builds the result graph Gr of the current match.
+func (e *Engine) ResultGraph() *resultgraph.Graph {
+	return resultgraph.FromBounded(e.p, e.g, e.Result(), e.bfs)
+}
+
+// checkInvariants recounts every support counter (test hook).
+func (e *Engine) checkInvariants() error {
+	for i, pe := range e.edges {
+		for v := range e.match[pe.From] {
+			c := int32(0)
+			tgt := e.match[pe.To]
+			e.bfs.DescNonempty(v, pe.Bound, func(w graph.NodeID, d int) bool {
+				if tgt.Has(w) {
+					c++
+				}
+				return true
+			})
+			if e.cnt[i][v] != c {
+				return fmt.Errorf("cnt[%d][%d] = %d, recount = %d", i, v, e.cnt[i][v], c)
+			}
+			if c == 0 {
+				return fmt.Errorf("match pair (%d,%d) unsupported for edge %d", pe.From, v, i)
+			}
+		}
+	}
+	if e.lmIdx != nil {
+		for u := 0; u < e.g.NumNodes(); u++ {
+			for v := 0; v < e.g.NumNodes(); v++ {
+				if e.lmIdx.Dist(u, v) != e.bfs.Dist(u, v) {
+					return fmt.Errorf("landmark Dist(%d,%d)=%d, BFS=%d", u, v, e.lmIdx.Dist(u, v), e.bfs.Dist(u, v))
+				}
+			}
+		}
+	}
+	return nil
+}

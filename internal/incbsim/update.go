@@ -1,0 +1,490 @@
+package incbsim
+
+// Unit and batch updates. Touching edge (a, b) only changes distances of
+// pairs (v, w) whose (new or old) shortest path routes through it, so v
+// must reach a within km-1 hops and w must be within km-1 hops of b. The
+// sweep therefore needs just two shared bounded BFS runs (ancestors of a,
+// descendants of b) plus one old-graph bounded BFS per surviving source —
+// the affected-area confinement of Theorem 6.1(2). For insertions the new
+// distance is witnessed by d(v,a)+1+d(b,w) directly (no post-update BFS);
+// for deletions a post-update BFS runs only for sources that actually had
+// a tight pair through the deleted edge.
+
+import "gpm/internal/graph"
+
+// neighborhood captures one side of the affected area: node → nonempty-path
+// distance, with the anchor itself at distance 0.
+type neighborhood map[graph.NodeID]int
+
+// ancestorsOf returns {v : dist(v, a) <= bound} with a ↦ 0.
+func (e *Engine) ancestorsOf(a graph.NodeID, bound int) neighborhood {
+	nb := neighborhood{a: 0}
+	if bound >= 1 {
+		e.bfs.AncNonempty(a, bound, func(w graph.NodeID, d int) bool {
+			if _, ok := nb[w]; !ok {
+				nb[w] = d
+			}
+			return true
+		})
+	}
+	return nb
+}
+
+// descendantsOf returns {w : dist(b, w) <= bound} with b ↦ 0.
+func (e *Engine) descendantsOf(b graph.NodeID, bound int) neighborhood {
+	nb := neighborhood{b: 0}
+	if bound >= 1 {
+		e.bfs.DescNonempty(b, bound, func(w graph.NodeID, d int) bool {
+			if _, ok := nb[w]; !ok {
+				nb[w] = d
+			}
+			return true
+		})
+	}
+	return nb
+}
+
+// descMap captures the nonempty-path distances from v within bound.
+func (e *Engine) descMap(v graph.NodeID, bound int) map[graph.NodeID]int {
+	m := make(map[graph.NodeID]int)
+	if bound >= 1 {
+		e.bfs.DescNonempty(v, bound, func(w graph.NodeID, d int) bool {
+			m[w] = d
+			return true
+		})
+	}
+	return m
+}
+
+// maxBoundFor returns the largest bound over pattern edges whose source
+// predicate v satisfies (0 if none): the radius of v's stake in the sweep.
+func (e *Engine) maxBoundFor(v graph.NodeID) int {
+	maxK := 0
+	for _, ei := range e.edgesBySat(v) {
+		if b := e.edges[ei].Bound; b > maxK {
+			maxK = b
+		}
+	}
+	return maxK
+}
+
+// edgesBySat lists the pattern-edge indices whose source predicate v
+// satisfies.
+func (e *Engine) edgesBySat(v graph.NodeID) []int {
+	var out []int
+	for ei, pe := range e.edges {
+		if e.sat[pe.From].Has(v) {
+			out = append(out, ei)
+		}
+	}
+	return out
+}
+
+// applyEdge routes a graph mutation through the landmark index when one is
+// attached, keeping it exact.
+func (e *Engine) applyEdge(up graph.Update) bool {
+	if e.lmIdx != nil {
+		if up.Op == graph.InsertEdge {
+			return e.lmIdx.Insert(up.From, up.To)
+		}
+		return e.lmIdx.Delete(up.From, up.To)
+	}
+	changed, _ := e.g.Apply(up)
+	return changed
+}
+
+// insertSweep processes one edge insertion (a, b): it adjusts support
+// counters for ss pairs flipping within bound and records promotion seeds
+// for candidate sources gaining a target. The graph is mutated inside.
+func (e *Engine) insertSweep(a, b graph.NodeID, seeds map[pair]bool) bool {
+	if e.g.HasEdge(a, b) {
+		return false
+	}
+	// Both neighbourhoods are identical before and after the insertion (the
+	// edge leaves a and enters b), so compute them pre-insert.
+	km := e.km
+	anc := e.ancestorsOf(a, km-1)
+	desc := e.descendantsOf(b, km-1)
+	// Pre-filter b's neighbourhood per pattern edge: potential new targets
+	// for counters (matches of the target) and for seeds (satisfying nodes).
+	type wd struct {
+		w graph.NodeID
+		d int
+	}
+	descMatch := make([][]wd, len(e.edges))
+	descSat := make([][]wd, len(e.edges))
+	for ei, pe := range e.edges {
+		for w, dbw := range desc {
+			if dbw+1 > pe.Bound {
+				continue
+			}
+			if e.match[pe.To].Has(w) {
+				descMatch[ei] = append(descMatch[ei], wd{w, dbw})
+			}
+			if e.sat[pe.To].Has(w) {
+				descSat[ei] = append(descSat[ei], wd{w, dbw})
+			}
+		}
+	}
+	for v, dva := range anc {
+		// One old-graph snapshot around v tells which pairs were already
+		// within bound — computed lazily, only when v has in-budget targets.
+		var oldD map[graph.NodeID]int
+		snapshot := func(maxK int) map[graph.NodeID]int {
+			if oldD == nil {
+				oldD = e.descMap(v, maxK)
+				e.stats.PairsExamined += int64(len(oldD))
+			}
+			return oldD
+		}
+		maxK := e.maxBoundFor(v)
+		if maxK == 0 || dva+1 > maxK {
+			continue
+		}
+		for ei, pe := range e.edges {
+			budget := pe.Bound - dva - 1
+			if budget < 0 {
+				continue
+			}
+			isMatchSrc := e.match[pe.From].Has(v)
+			isCand := !isMatchSrc && e.sat[pe.From].Has(v)
+			if isMatchSrc {
+				for _, t := range descMatch[ei] {
+					if t.d > budget {
+						continue
+					}
+					// New distance ≤ dva+1+dbw ≤ bound: the pair is now
+					// within bound. It flipped iff it was not before.
+					if od, ok := snapshot(maxK)[t.w]; ok && od <= pe.Bound {
+						continue
+					}
+					e.cnt[ei][v]++
+					e.stats.CounterUpdates++
+				}
+			} else if isCand && seeds != nil {
+				if _, seeded := seeds[pair{pe.From, v}]; seeded {
+					continue
+				}
+				for _, t := range descSat[ei] {
+					if t.d > budget {
+						continue
+					}
+					if od, ok := snapshot(maxK)[t.w]; ok && od <= pe.Bound {
+						continue
+					}
+					seeds[pair{pe.From, v}] = true
+					break
+				}
+			}
+		}
+	}
+	return e.applyEdge(graph.Insert(a, b))
+}
+
+// deleteSweep processes one edge deletion (a, b): pairs can only leave the
+// bound, and only pairs whose old shortest path was tight through (a, b)
+// qualify — everything else is pruned before any post-update BFS runs.
+func (e *Engine) deleteSweep(a, b graph.NodeID, touched map[int]map[graph.NodeID]bool) bool {
+	if !e.g.HasEdge(a, b) {
+		return false
+	}
+	km := e.km
+	anc := e.ancestorsOf(a, km-1)
+	desc := e.descendantsOf(b, km-1)
+	type wd struct {
+		w graph.NodeID
+		d int
+	}
+	descMatch := make([][]wd, len(e.edges))
+	for ei, pe := range e.edges {
+		for w, dbw := range desc {
+			if dbw+1 <= pe.Bound && e.match[pe.To].Has(w) {
+				descMatch[ei] = append(descMatch[ei], wd{w, dbw})
+			}
+		}
+	}
+	type candFlip struct {
+		ei int
+		w  graph.NodeID
+	}
+	cands := make(map[graph.NodeID][]candFlip)
+	for v, dva := range anc {
+		var oldD map[graph.NodeID]int
+		maxK := 0
+		for ei, pe := range e.edges {
+			if e.match[pe.From].Has(v) && len(descMatch[ei]) > 0 && pe.Bound > maxK {
+				maxK = pe.Bound
+			}
+		}
+		if maxK == 0 || dva+1 > maxK {
+			continue
+		}
+		for ei, pe := range e.edges {
+			if !e.match[pe.From].Has(v) {
+				continue
+			}
+			budget := pe.Bound - dva - 1
+			if budget < 0 {
+				continue
+			}
+			for _, t := range descMatch[ei] {
+				if t.d > budget {
+					continue
+				}
+				if oldD == nil {
+					oldD = e.descMap(v, maxK)
+					e.stats.PairsExamined += int64(len(oldD))
+				}
+				// The pair can change only if its old distance was realized
+				// through (a, b).
+				if od, ok := oldD[t.w]; ok && od == dva+1+t.d && od <= pe.Bound {
+					cands[v] = append(cands[v], candFlip{ei, t.w})
+				}
+			}
+		}
+	}
+	if !e.applyEdge(graph.Delete(a, b)) {
+		return false
+	}
+	// Post-deletion: re-measure only the sources that had tight pairs.
+	for v, flips := range cands {
+		maxK := 0
+		for _, f := range flips {
+			if bnd := e.edges[f.ei].Bound; bnd > maxK {
+				maxK = bnd
+			}
+		}
+		newD := e.descMap(v, maxK)
+		e.stats.PairsExamined += int64(len(newD))
+		for _, f := range flips {
+			pe := e.edges[f.ei]
+			if nd, ok := newD[f.w]; ok && nd <= pe.Bound {
+				continue // an alternative path survives
+			}
+			e.cnt[f.ei][v]--
+			e.stats.CounterUpdates++
+			markTouched(touched, f.ei, v)
+		}
+	}
+	return true
+}
+
+func markTouched(touched map[int]map[graph.NodeID]bool, ei int, v graph.NodeID) {
+	if touched[ei] == nil {
+		touched[ei] = make(map[graph.NodeID]bool)
+	}
+	touched[ei][v] = true
+}
+
+// drainTouched scans the counters recorded in touched and cascades zeros.
+func (e *Engine) drainTouched(touched map[int]map[graph.NodeID]bool) {
+	var queue []pair
+	for ei, nodes := range touched {
+		src := e.edges[ei].From
+		for v := range nodes {
+			if e.cnt[ei][v] == 0 && e.match[src].Has(v) {
+				e.match[src].Remove(v)
+				queue = append(queue, pair{src, v})
+			}
+		}
+	}
+	e.cascade(queue)
+}
+
+// Delete removes edge (v0, v1), incrementally repairing the match
+// (IncBMatch⁻). It reports whether the edge existed.
+func (e *Engine) Delete(v0, v1 graph.NodeID) bool {
+	touched := make(map[int]map[graph.NodeID]bool)
+	if !e.deleteSweep(v0, v1, touched) {
+		return false
+	}
+	e.drainTouched(touched)
+	return true
+}
+
+// Insert adds edge (v0, v1), incrementally repairing the match
+// (IncBMatch⁺). It reports whether the edge was new.
+func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
+	seeds := make(map[pair]bool)
+	if !e.insertSweep(v0, v1, seeds) {
+		return false
+	}
+	e.promote(seeds)
+	return true
+}
+
+// Batch applies a mixed update list (IncBMatch): same-edge cancellation,
+// then all deletions with a single cascade, then all insertions with a
+// single promotion.
+func (e *Engine) Batch(ups []graph.Update) {
+	net := netUpdates(e.g, ups)
+	touched := make(map[int]map[graph.NodeID]bool)
+	for _, up := range net {
+		if up.Op == graph.DeleteEdge {
+			e.deleteSweep(up.From, up.To, touched)
+		}
+	}
+	e.drainTouched(touched)
+	seeds := make(map[pair]bool)
+	for _, up := range net {
+		if up.Op == graph.InsertEdge {
+			e.insertSweep(up.From, up.To, seeds)
+		}
+	}
+	e.promote(seeds)
+}
+
+// Apply is the naive baseline: unit updates one at a time.
+func (e *Engine) Apply(ups []graph.Update) {
+	for _, up := range ups {
+		if up.Op == graph.InsertEdge {
+			e.Insert(up.From, up.To)
+		} else {
+			e.Delete(up.From, up.To)
+		}
+	}
+}
+
+// netUpdates collapses updates to their net effect against g.
+func netUpdates(g *graph.Graph, ups []graph.Update) []graph.Update {
+	final := make(map[[2]graph.NodeID]graph.Op, len(ups))
+	order := make([][2]graph.NodeID, 0, len(ups))
+	for _, up := range ups {
+		key := [2]graph.NodeID{up.From, up.To}
+		if _, seen := final[key]; !seen {
+			order = append(order, key)
+		}
+		final[key] = up.Op
+	}
+	net := make([]graph.Update, 0, len(order))
+	for _, key := range order {
+		op := final[key]
+		if (op == graph.InsertEdge) == g.HasEdge(key[0], key[1]) {
+			continue
+		}
+		net = append(net, graph.Update{Op: op, From: key[0], To: key[1]})
+	}
+	return net
+}
+
+// promote runs the candidate-closure promotion over the pair graph: the
+// bounded-simulation analogue of incsim's propCS/propCC followed by a
+// greatest-fixpoint refinement.
+func (e *Engine) promote(seeds map[pair]bool) {
+	closure := make(map[pair]bool)
+	var stack []pair
+	push := func(pr pair) {
+		if !closure[pr] {
+			closure[pr] = true
+			stack = append(stack, pr)
+		}
+	}
+	for pr := range seeds {
+		if e.IsCandidate(pr.u, pr.v) {
+			push(pr)
+		}
+	}
+	for len(stack) > 0 {
+		pr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e.stats.ClosureSize++
+		for _, ei := range e.inEdges[pr.u] {
+			pe := e.edges[ei]
+			e.bfs.AncNonempty(pr.v, pe.Bound, func(w graph.NodeID, d int) bool {
+				if e.IsCandidate(pe.From, w) {
+					push(pair{pe.From, w})
+				}
+				return true
+			})
+		}
+	}
+	if len(closure) == 0 {
+		return
+	}
+
+	np := e.p.NumNodes()
+	tentative := make([]map[graph.NodeID]bool, np)
+	for u := range tentative {
+		tentative[u] = make(map[graph.NodeID]bool)
+	}
+	for pr := range closure {
+		tentative[pr.u][pr.v] = true
+	}
+	tcnt := make(map[int]map[graph.NodeID]int32, len(e.edges))
+	for pr := range closure {
+		for _, ei := range e.outEdges[pr.u] {
+			pe := e.edges[ei]
+			c := int32(0)
+			e.bfs.DescNonempty(pr.v, pe.Bound, func(w graph.NodeID, d int) bool {
+				if e.match[pe.To].Has(w) || tentative[pe.To][w] {
+					c++
+				}
+				return true
+			})
+			if tcnt[ei] == nil {
+				tcnt[ei] = make(map[graph.NodeID]int32)
+			}
+			tcnt[ei][pr.v] = c
+		}
+	}
+	var queue []pair
+	for pr := range closure {
+		for _, ei := range e.outEdges[pr.u] {
+			if tcnt[ei][pr.v] == 0 && tentative[pr.u][pr.v] {
+				delete(tentative[pr.u], pr.v)
+				queue = append(queue, pr)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		rm := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ei := range e.inEdges[rm.u] {
+			pe := e.edges[ei]
+			e.bfs.AncNonempty(rm.v, pe.Bound, func(w graph.NodeID, d int) bool {
+				if !tentative[pe.From][w] {
+					return true
+				}
+				tcnt[ei][w]--
+				if tcnt[ei][w] == 0 {
+					delete(tentative[pe.From], w)
+					queue = append(queue, pair{pe.From, w})
+				}
+				return true
+			})
+		}
+	}
+
+	var newPairs []pair
+	for u := range tentative {
+		for v := range tentative[u] {
+			e.match[u].Add(v)
+			e.stats.Promotions++
+			newPairs = append(newPairs, pair{u, v})
+		}
+	}
+	for _, pr := range newPairs {
+		for _, ei := range e.outEdges[pr.u] {
+			pe := e.edges[ei]
+			c := int32(0)
+			e.bfs.DescNonempty(pr.v, pe.Bound, func(w graph.NodeID, d int) bool {
+				if e.match[pe.To].Has(w) {
+					c++
+				}
+				return true
+			})
+			e.cnt[ei][pr.v] = c
+			e.stats.CounterUpdates++
+		}
+		for _, ei := range e.inEdges[pr.u] {
+			pe := e.edges[ei]
+			e.bfs.AncNonempty(pr.v, pe.Bound, func(w graph.NodeID, d int) bool {
+				if e.match[pe.From].Has(w) && !tentative[pe.From][w] {
+					e.cnt[ei][w]++
+					e.stats.CounterUpdates++
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package incsim
+
+// IncMatch (Fig. 10): batch updates. The algorithm first reduces ΔG with
+// minDelta — same-edge insert/delete cancellation, relevance filtering
+// against match()/candt(), and topological-rank redundancy elimination
+// (Lemma 5.1) — then handles all deletions simultaneously (one counter
+// sweep + one cascade) and all insertions simultaneously (one promotion
+// closure), rather than one update at a time.
+
+import "gpm/internal/graph"
+
+// BatchResult reports what a batch application did — the minDelta reduction
+// statistics of Fig. 20(a) plus the affected-area outcome.
+type BatchResult struct {
+	Original  int // updates submitted
+	Effective int // after same-edge cancellation against the graph state
+	Relevant  int // after relevance + rank filtering (updates actually processed)
+	Removed   int // match pairs removed
+	Added     int // match pairs added
+}
+
+// Batch applies a mixed list of edge insertions and deletions, repairing
+// the match incrementally while processing the updates together.
+func (e *Engine) Batch(ups []graph.Update) BatchResult {
+	res := BatchResult{Original: len(ups)}
+	before := int(e.stats.Removals)
+	beforeAdd := int(e.stats.Promotions)
+
+	net := netUpdates(e.g, ups)
+	res.Effective = len(net)
+	// The hot path uses the cancellation + relevance reductions only; the
+	// topological-rank filter (Lemma 5.1) costs an O(|G|) pass, which pays
+	// off for reporting (MinDelta) but not inside the repair loop.
+
+	// Apply everything to the graph first so cascades and closures see the
+	// final adjacency.
+	var relevant []graph.Update
+	for _, up := range net {
+		if up.Op == graph.InsertEdge {
+			if _, err := e.g.AddEdge(up.From, up.To); err != nil {
+				continue
+			}
+		} else {
+			e.g.RemoveEdge(up.From, up.To)
+		}
+		if e.isRelevant(up, nil) {
+			relevant = append(relevant, up)
+		}
+	}
+	res.Relevant = len(relevant)
+
+	// Counter sweep: all deletions and ss insertions adjust support counters
+	// in one pass, so an insert and a delete hitting the same (pattern edge,
+	// source) pair cancel without triggering a spurious removal cascade.
+	var queue []pair
+	touched := make(map[int]map[graph.NodeID]bool)
+	for _, up := range relevant {
+		for ei, pe := range e.edges {
+			if !e.match[pe.From].Has(up.From) || !e.match[pe.To].Has(up.To) {
+				continue
+			}
+			if up.Op == graph.InsertEdge {
+				e.cnt[ei][up.From]++
+			} else {
+				e.cnt[ei][up.From]--
+			}
+			e.stats.CounterUpdates++
+			if touched[ei] == nil {
+				touched[ei] = make(map[graph.NodeID]bool)
+			}
+			touched[ei][up.From] = true
+		}
+	}
+	for ei, nodes := range touched {
+		src := e.edges[ei].From
+		for v := range nodes {
+			if e.cnt[ei][v] == 0 && e.match[src].Has(v) {
+				e.match[src].Remove(v)
+				queue = append(queue, pair{src, v})
+			}
+		}
+	}
+	e.cascade(queue)
+
+	// Promotion: seed from all inserted edges at once, against the
+	// post-cascade candidate sets.
+	var seeds []pair
+	seen := make(map[pair]bool)
+	for _, up := range relevant {
+		if up.Op != graph.InsertEdge {
+			continue
+		}
+		for _, pe := range e.edges {
+			pr := pair{pe.From, up.From}
+			if !seen[pr] && e.IsCandidate(pe.From, up.From) && e.sat[pe.To].Has(up.To) {
+				seen[pr] = true
+				seeds = append(seeds, pr)
+			}
+		}
+	}
+	if len(seeds) > 0 {
+		e.promote(seeds)
+	}
+
+	res.Removed = int(e.stats.Removals) - before
+	res.Added = int(e.stats.Promotions) - beforeAdd
+	return res
+}
+
+// Apply is the naive IncMatchn baseline: it processes the batch one unit
+// update at a time through IncMatch⁺/IncMatch⁻, with no minDelta reduction.
+func (e *Engine) Apply(ups []graph.Update) {
+	for _, up := range ups {
+		if up.Op == graph.InsertEdge {
+			e.Insert(up.From, up.To)
+		} else {
+			e.Delete(up.From, up.To)
+		}
+	}
+}
+
+// netUpdates collapses a list of updates to its net effect against the
+// current graph: per edge, only the final state matters, and updates that
+// restate the graph's current state vanish (the cancellation step of
+// minDelta).
+func netUpdates(g *graph.Graph, ups []graph.Update) []graph.Update {
+	final := make(map[[2]graph.NodeID]graph.Op, len(ups))
+	order := make([][2]graph.NodeID, 0, len(ups))
+	for _, up := range ups {
+		key := [2]graph.NodeID{up.From, up.To}
+		if _, seen := final[key]; !seen {
+			order = append(order, key)
+		}
+		final[key] = up.Op
+	}
+	net := make([]graph.Update, 0, len(order))
+	for _, key := range order {
+		op := final[key]
+		has := g.HasEdge(key[0], key[1])
+		if (op == graph.InsertEdge) == has {
+			continue // restates current state: cancelled
+		}
+		net = append(net, graph.Update{Op: op, From: key[0], To: key[1]})
+	}
+	return net
+}
+
+// relevanceRanks computes the topological ranks used by the Lemma 5.1
+// filter: pattern-node ranks over P and data-node ranks over G ⊕ ΔG (the
+// full graph bounds the candidate-induced GI from above, which keeps the
+// filter sound). Returns nil when the pattern has an infinite-rank node
+// everywhere (no filtering power).
+type rankInfo struct {
+	pat  []int
+	data []int
+}
+
+func (e *Engine) relevanceRanks(net []graph.Update) *rankInfo {
+	// Rank filtering needs the post-update graph; simulate it on a clone of
+	// the adjacency (cheap relative to a batch run, O(|G| + |ΔG|)).
+	g2 := e.g.Clone()
+	for _, up := range net {
+		g2.Apply(up) //nolint:errcheck // net updates are in-range
+	}
+	return &rankInfo{pat: e.p.AsGraph().TopologicalRanks(), data: g2.TopologicalRanks()}
+}
+
+// isRelevant reports whether an update can possibly change the match or the
+// auxiliary counters (the filtering of minDelta, lines 1-6 of Fig. 10, plus
+// the rank rule of Lemma 5.1).
+func (e *Engine) isRelevant(up graph.Update, ranks *rankInfo) bool {
+	for _, pe := range e.edges {
+		if up.Op == graph.DeleteEdge {
+			// Only ss deletions matter (Prop. 5.1).
+			if e.match[pe.From].Has(up.From) && e.match[pe.To].Has(up.To) {
+				return true
+			}
+			continue
+		}
+		// Insertions: endpoints must satisfy the pattern edge's predicates…
+		if !e.sat[pe.From].Has(up.From) || !e.sat[pe.To].Has(up.To) {
+			continue
+		}
+		// …and by Lemma 5.1 a node whose rank is below the pattern node's
+		// can never match it, so such an edge can never contribute.
+		if ranks != nil {
+			if !rankLE(ranks.pat[pe.From], ranks.data[up.From]) ||
+				!rankLE(ranks.pat[pe.To], ranks.data[up.To]) {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// rankLE compares topological ranks with ∞ handling: r(u) ≤ r(v).
+func rankLE(ru, rv int) bool {
+	if ru == graph.RankInfinite {
+		return rv == graph.RankInfinite
+	}
+	return rv == graph.RankInfinite || ru <= rv
+}
+
+// MinDelta exposes the update-reduction statistics without applying
+// anything: it reports how many of the submitted updates survive
+// cancellation and relevance/rank filtering (Fig. 20(a)). The engine and
+// graph are left untouched.
+func (e *Engine) MinDelta(ups []graph.Update) BatchResult {
+	res := BatchResult{Original: len(ups)}
+	net := netUpdates(e.g, ups)
+	res.Effective = len(net)
+	ranks := e.relevanceRanks(net)
+	for _, up := range net {
+		if e.isRelevant(up, ranks) {
+			res.Relevant++
+		}
+	}
+	return res
+}

@@ -1,0 +1,34 @@
+package incsim
+
+// IncMatch⁻ (Fig. 8): single-edge deletion. By Proposition 5.1 only the
+// deletion of an ss edge — one connecting two current matches of a pattern
+// edge's endpoints — can shrink the match. The deletion decrements the
+// source's support counter; a counter hitting zero invalidates the match
+// and the invalidation cascades through the result graph, touching only the
+// affected area.
+
+import "gpm/internal/graph"
+
+// Delete removes the edge (v0, v1) from the data graph and incrementally
+// repairs the match. It reports whether the edge existed.
+func (e *Engine) Delete(v0, v1 graph.NodeID) bool {
+	if !e.g.RemoveEdge(v0, v1) {
+		return false
+	}
+	var queue []pair
+	for ei, pe := range e.edges {
+		// Only ss edges matter (Prop. 5.1): v0 a match of the source and v1
+		// a match of the target.
+		if !e.match[pe.From].Has(v0) || !e.match[pe.To].Has(v1) {
+			continue
+		}
+		e.cnt[ei][v0]--
+		e.stats.CounterUpdates++
+		if e.cnt[ei][v0] == 0 {
+			e.match[pe.From].Remove(v0)
+			queue = append(queue, pair{pe.From, v0})
+		}
+	}
+	e.cascade(queue)
+	return true
+}

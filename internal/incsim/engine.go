@@ -1,0 +1,231 @@
+// Package incsim implements incremental graph simulation (Section 5): the
+// unit-update algorithms IncMatch⁻ (edge deletion, Fig. 8) and IncMatch⁺ /
+// IncMatch⁺dag (edge insertion, Fig. 9), and the batch algorithm IncMatch
+// with the minDelta update reduction (Fig. 10).
+//
+// The Engine maintains the paper's auxiliary structures: match(u) — the
+// per-pattern-node maximum simulation sets — and candt(u), nodes satisfying
+// the predicate of u but not currently matching (sat(u) \ match(u)),
+// together with per-pattern-edge support counters (how many children of a
+// match support each pattern edge). The affected area AFF is exactly the
+// set of match()/candt()/counter entries an update touches, and the engine
+// tallies it in Stats.
+//
+// Internally match(u) holds the greatest simulation relation per node even
+// when some pattern node has no match — that is the "partial matches"
+// auxiliary information the paper's semi-boundedness analysis relies on
+// (Example 4.3). Result() applies the totality convention: if any pattern
+// node is unmatched the user-visible match is the empty relation.
+package incsim
+
+import (
+	"fmt"
+
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/rel"
+	"gpm/internal/resultgraph"
+)
+
+// Stats tallies the affected area AFF touched by incremental maintenance.
+type Stats struct {
+	Removals       int64 // match pairs invalidated
+	Promotions     int64 // candidate pairs promoted to matches
+	CounterUpdates int64 // support counter adjustments
+	ClosureSize    int64 // candidate pairs examined by insertion closures
+}
+
+// Total returns a scalar |AFF| measure.
+func (s Stats) Total() int64 {
+	return s.Removals + s.Promotions + s.CounterUpdates + s.ClosureSize
+}
+
+// Engine maintains the maximum simulation of a normal pattern over a
+// mutable data graph. The engine owns the graph: all edge updates must go
+// through the engine's methods so the auxiliary structures stay consistent.
+type Engine struct {
+	p        *pattern.Pattern
+	g        *graph.Graph
+	edges    []pattern.Edge
+	outEdges [][]int // pattern-edge indices by source pattern node
+	inEdges  [][]int // pattern-edge indices by target pattern node
+
+	sat   rel.Relation // sat(u): nodes satisfying fV(u); static under edge updates
+	match rel.Relation // match(u): greatest simulation per pattern node
+	// cnt[e][v]: for v ∈ match(src(e)), the number of children of v in
+	// match(tgt(e)) — the support that keeps v alive for pattern edge e.
+	cnt []map[graph.NodeID]int32
+
+	stats Stats
+}
+
+// New builds an engine for pattern p over graph g, computing the initial
+// maximum simulation with the batch algorithm. The pattern must be normal
+// (every bound 1); a non-normal pattern is rejected since incremental
+// simulation is defined on normal patterns (use incbsim for b-patterns).
+func New(p *pattern.Pattern, g *graph.Graph) (*Engine, error) {
+	if !p.IsNormal() {
+		return nil, fmt.Errorf("incsim: pattern is not normal; bounded patterns need incbsim")
+	}
+	if p.HasColors() {
+		return nil, fmt.Errorf("incsim: colored patterns are batch-only (use core.MatchColored)")
+	}
+	e := &Engine{p: p, g: g, edges: p.Edges()}
+	np := p.NumNodes()
+	e.outEdges = make([][]int, np)
+	e.inEdges = make([][]int, np)
+	for i, pe := range e.edges {
+		e.outEdges[pe.From] = append(e.outEdges[pe.From], i)
+		e.inEdges[pe.To] = append(e.inEdges[pe.To], i)
+	}
+	e.sat = rel.NewRelation(np)
+	for u := 0; u < np; u++ {
+		pred := p.Pred(u)
+		for v := 0; v < g.NumNodes(); v++ {
+			if pred.Eval(g.Attrs(v)) {
+				e.sat[u].Add(v)
+			}
+		}
+	}
+	e.rebuild()
+	return e, nil
+}
+
+// rebuild recomputes match() and all counters from scratch (batch
+// computation of the per-node greatest simulation).
+func (e *Engine) rebuild() {
+	np := e.p.NumNodes()
+	e.match = make(rel.Relation, np)
+	for u := 0; u < np; u++ {
+		e.match[u] = e.sat[u].Clone()
+	}
+	e.cnt = make([]map[graph.NodeID]int32, len(e.edges))
+	var queue []pair
+	for i, pe := range e.edges {
+		e.cnt[i] = make(map[graph.NodeID]int32, e.match[pe.From].Len())
+		for v := range e.match[pe.From] {
+			c := int32(0)
+			for _, w := range e.g.Out(v) {
+				if e.match[pe.To].Has(w) {
+					c++
+				}
+			}
+			e.cnt[i][v] = c
+		}
+	}
+	for i, pe := range e.edges {
+		for v, c := range e.cnt[i] {
+			if c == 0 && e.match[pe.From].Has(v) {
+				e.match[pe.From].Remove(v)
+				queue = append(queue, pair{pe.From, v})
+			}
+		}
+	}
+	e.cascade(queue)
+}
+
+// pair is a (pattern node, data node) entry.
+type pair struct {
+	u int
+	v graph.NodeID
+}
+
+// cascade propagates a queue of match removals (the worklist of IncMatch⁻):
+// each removal decrements the support counters of its match parents, and
+// counters hitting zero enqueue further removals. Runs in O(|AFF|).
+func (e *Engine) cascade(queue []pair) {
+	for len(queue) > 0 {
+		rm := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		e.stats.Removals++
+		// Drop the removed pair's own stale counters.
+		for _, ei := range e.outEdges[rm.u] {
+			delete(e.cnt[ei], rm.v)
+		}
+		for _, ei := range e.inEdges[rm.u] {
+			src := e.edges[ei].From
+			for _, w := range e.g.In(rm.v) {
+				if !e.match[src].Has(w) {
+					continue
+				}
+				e.cnt[ei][w]--
+				e.stats.CounterUpdates++
+				if e.cnt[ei][w] == 0 {
+					e.match[src].Remove(w)
+					queue = append(queue, pair{src, w})
+				}
+			}
+		}
+	}
+}
+
+// Pattern returns the engine's pattern.
+func (e *Engine) Pattern() *pattern.Pattern { return e.p }
+
+// Graph returns the engine's data graph. Callers must not mutate it
+// directly; use Insert/Delete/Batch.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Stats returns the cumulative affected-area statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats clears the cumulative statistics.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// MatchSets exposes the internal per-node greatest simulation sets (the
+// match() auxiliary structure). The caller must not mutate them.
+func (e *Engine) MatchSets() rel.Relation { return e.match }
+
+// IsMatch reports whether (u, v) is in the current match() structure.
+func (e *Engine) IsMatch(u int, v graph.NodeID) bool { return e.match[u].Has(v) }
+
+// IsCandidate reports whether v ∈ candt(u): it satisfies fV(u) but does not
+// currently match u.
+func (e *Engine) IsCandidate(u int, v graph.NodeID) bool {
+	return e.sat[u].Has(v) && !e.match[u].Has(v)
+}
+
+// Result returns the maximum simulation Msim(P, G) under the totality
+// convention: empty when some pattern node has no match.
+func (e *Engine) Result() rel.Relation {
+	for _, s := range e.match {
+		if s.Len() == 0 {
+			return rel.NewRelation(len(e.match))
+		}
+	}
+	return e.match.Clone()
+}
+
+// ResultGraph builds the result graph Gr of the current match.
+func (e *Engine) ResultGraph() *resultgraph.Graph {
+	return resultgraph.FromSimulation(e.p, e.g, e.Result())
+}
+
+// checkInvariants verifies internal consistency (used by tests): counters
+// equal recounts, match ⊆ sat, and every match pair has support.
+func (e *Engine) checkInvariants() error {
+	for u := range e.match {
+		for v := range e.match[u] {
+			if !e.sat[u].Has(v) {
+				return fmt.Errorf("match(%d) contains %d not in sat", u, v)
+			}
+		}
+	}
+	for i, pe := range e.edges {
+		for v := range e.match[pe.From] {
+			c := int32(0)
+			for _, w := range e.g.Out(v) {
+				if e.match[pe.To].Has(w) {
+					c++
+				}
+			}
+			if e.cnt[i][v] != c {
+				return fmt.Errorf("cnt[%d][%d] = %d, recount = %d", i, v, e.cnt[i][v], c)
+			}
+			if c == 0 {
+				return fmt.Errorf("match pair (%d,%d) has no support for edge %d", pe.From, v, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package incsim
+
+// IncMatch⁺ (Fig. 9) and IncMatch⁺dag: single-edge insertion. By
+// Proposition 5.2 only cs and cc edges — from a candidate to a match or
+// candidate of a pattern edge's endpoints — can create new matches, and cc
+// edges only matter inside pattern SCCs. The general algorithm computes the
+// affected candidate closure (the propCS/propCC propagation) and promotes
+// it with a greatest-fixpoint refinement, which is both sound and complete:
+// the result provably equals batch recomputation (property-tested).
+
+import (
+	"fmt"
+
+	"gpm/internal/graph"
+)
+
+// Insert adds the edge (v0, v1) to the data graph and incrementally repairs
+// the match (general, possibly cyclic patterns). It reports whether the
+// edge was new.
+func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
+	added, err := e.g.AddEdge(v0, v1)
+	if err != nil || !added {
+		return false
+	}
+	// ss insertions only add support: bump the counters (needed so later
+	// deletions see the correct support), no new matches possible.
+	for ei, pe := range e.edges {
+		if e.match[pe.From].Has(v0) && e.match[pe.To].Has(v1) {
+			e.cnt[ei][v0]++
+			e.stats.CounterUpdates++
+		}
+	}
+	// cs / cc seeds: v0 a candidate of the source, v1 satisfying the target.
+	// v0 may be a candidate of several pattern nodes; seed each of them.
+	var seeds []pair
+	seen := make(map[int]bool)
+	for _, pe := range e.edges {
+		if !seen[pe.From] && e.IsCandidate(pe.From, v0) && e.sat[pe.To].Has(v1) {
+			seen[pe.From] = true
+			seeds = append(seeds, pair{pe.From, v0})
+		}
+	}
+	if len(seeds) > 0 {
+		e.promote(seeds)
+	}
+	return true
+}
+
+// InsertDAG is IncMatch⁺dag: the optimal O(|AFF|) insertion for DAG
+// patterns, which needs no SCC fixpoint — new matches propagate strictly
+// from pattern leaves towards roots. It returns an error if the pattern is
+// cyclic.
+func (e *Engine) InsertDAG(v0, v1 graph.NodeID) (bool, error) {
+	if !e.p.IsDAG() {
+		return false, fmt.Errorf("incsim: InsertDAG requires a DAG pattern")
+	}
+	added, err := e.g.AddEdge(v0, v1)
+	if err != nil || !added {
+		return false, err
+	}
+	for ei, pe := range e.edges {
+		if e.match[pe.From].Has(v0) && e.match[pe.To].Has(v1) {
+			e.cnt[ei][v0]++
+			e.stats.CounterUpdates++
+		}
+	}
+	// Worklist of candidate pairs to re-examine, seeded at v0. On a DAG
+	// pattern a candidate can only be enabled by already-promoted children,
+	// so direct re-checking converges without a tentative fixpoint.
+	var work []pair
+	seen := make(map[pair]bool)
+	push := func(u int, v graph.NodeID) {
+		pr := pair{u, v}
+		if !seen[pr] && e.IsCandidate(u, v) {
+			seen[pr] = true
+			work = append(work, pr)
+		}
+	}
+	for _, pe := range e.edges {
+		if e.sat[pe.To].Has(v1) {
+			push(pe.From, v0)
+		}
+	}
+	for len(work) > 0 {
+		pr := work[len(work)-1]
+		work = work[:len(work)-1]
+		delete(seen, pr) // allow re-examination if another child promotes later
+		e.stats.ClosureSize++
+		if !e.IsCandidate(pr.u, pr.v) || !e.supported(pr.u, pr.v) {
+			continue
+		}
+		e.addMatch(pr.u, pr.v)
+		// The new match may enable candidate parents.
+		for _, ei := range e.inEdges[pr.u] {
+			src := e.edges[ei].From
+			for _, w := range e.g.In(pr.v) {
+				push(src, w)
+			}
+		}
+	}
+	return true, nil
+}
+
+// supported reports whether candidate (u, v) has, for every pattern edge
+// out of u, a child in the current match of the edge's target.
+func (e *Engine) supported(u int, v graph.NodeID) bool {
+	for _, ei := range e.outEdges[u] {
+		tgt := e.edges[ei].To
+		ok := false
+		for _, w := range e.g.Out(v) {
+			if e.match[tgt].Has(w) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// addMatch promotes (u, v) into match(u), installing its own counters and
+// bumping the counters of its match parents.
+func (e *Engine) addMatch(u int, v graph.NodeID) {
+	e.match[u].Add(v)
+	e.stats.Promotions++
+	for _, ei := range e.outEdges[u] {
+		tgt := e.edges[ei].To
+		c := int32(0)
+		for _, w := range e.g.Out(v) {
+			if e.match[tgt].Has(w) {
+				c++
+			}
+		}
+		e.cnt[ei][v] = c
+		e.stats.CounterUpdates++
+	}
+	for _, ei := range e.inEdges[u] {
+		src := e.edges[ei].From
+		for _, w := range e.g.In(v) {
+			if e.match[src].Has(w) {
+				e.cnt[ei][w]++
+				e.stats.CounterUpdates++
+			}
+		}
+	}
+}
+
+// promote runs the general-pattern promotion: the affected candidate
+// closure (propCS + propCC of Fig. 9) followed by a greatest-fixpoint
+// refinement over the tentative pairs. Seeds are candidate pairs adjacent
+// to inserted cs/cc edges.
+func (e *Engine) promote(seeds []pair) {
+	// Phase 1: backward closure over candidate pairs. A candidate (u2, w)
+	// can only flip if some G'-child x of w is a closure member for a child
+	// pattern node — chase parents transitively.
+	closure := make(map[pair]bool)
+	var stack []pair
+	push := func(pr pair) {
+		if !closure[pr] {
+			closure[pr] = true
+			stack = append(stack, pr)
+		}
+	}
+	for _, s := range seeds {
+		if e.IsCandidate(s.u, s.v) {
+			push(s)
+		}
+	}
+	for len(stack) > 0 {
+		pr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e.stats.ClosureSize++
+		for _, ei := range e.inEdges[pr.u] {
+			src := e.edges[ei].From
+			for _, w := range e.g.In(pr.v) {
+				if e.IsCandidate(src, w) {
+					push(pair{src, w})
+				}
+			}
+		}
+	}
+	if len(closure) == 0 {
+		return
+	}
+
+	// Phase 2: tentative promotion refined to the greatest fixpoint.
+	// tentative[u] holds closure members per pattern node; support counts
+	// include both current matches and tentative members, then members
+	// without support are peeled off (match members are never affected —
+	// their support cannot shrink during an insertion).
+	np := e.p.NumNodes()
+	tentative := make([]map[graph.NodeID]bool, np)
+	for u := range tentative {
+		tentative[u] = make(map[graph.NodeID]bool)
+	}
+	for pr := range closure {
+		tentative[pr.u][pr.v] = true
+	}
+	tcnt := make(map[int]map[graph.NodeID]int32, len(e.edges))
+	var queue []pair
+	for pr := range closure {
+		for _, ei := range e.outEdges[pr.u] {
+			tgt := e.edges[ei].To
+			c := int32(0)
+			for _, w := range e.g.Out(pr.v) {
+				if e.match[tgt].Has(w) || tentative[tgt][w] {
+					c++
+				}
+			}
+			if tcnt[ei] == nil {
+				tcnt[ei] = make(map[graph.NodeID]int32)
+			}
+			tcnt[ei][pr.v] = c
+		}
+	}
+	for pr := range closure {
+		for _, ei := range e.outEdges[pr.u] {
+			if tcnt[ei][pr.v] == 0 && tentative[pr.u][pr.v] {
+				delete(tentative[pr.u], pr.v)
+				queue = append(queue, pr)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		rm := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ei := range e.inEdges[rm.u] {
+			src := e.edges[ei].From
+			for _, w := range e.g.In(rm.v) {
+				if !tentative[src][w] {
+					continue
+				}
+				tcnt[ei][w]--
+				if tcnt[ei][w] == 0 {
+					delete(tentative[src], w)
+					queue = append(queue, pair{src, w})
+				}
+			}
+		}
+	}
+
+	// Phase 3: integrate survivors as new matches and repair counters. New
+	// pairs get fresh counters; old match parents of new pairs get
+	// incremented once per new child.
+	var newPairs []pair
+	for u := range tentative {
+		for v := range tentative[u] {
+			e.match[u].Add(v)
+			e.stats.Promotions++
+			newPairs = append(newPairs, pair{u, v})
+		}
+	}
+	isNew := func(u int, v graph.NodeID) bool { return tentative[u][v] }
+	for _, pr := range newPairs {
+		for _, ei := range e.outEdges[pr.u] {
+			tgt := e.edges[ei].To
+			c := int32(0)
+			for _, w := range e.g.Out(pr.v) {
+				if e.match[tgt].Has(w) {
+					c++
+				}
+			}
+			e.cnt[ei][pr.v] = c
+			e.stats.CounterUpdates++
+		}
+		for _, ei := range e.inEdges[pr.u] {
+			src := e.edges[ei].From
+			for _, w := range e.g.In(pr.v) {
+				if e.match[src].Has(w) && !isNew(src, w) {
+					e.cnt[ei][w]++
+					e.stats.CounterUpdates++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package iso
+
+// IncIsoMat: incremental maintenance of the embedding set under edge
+// updates. Theorem 7.1 shows the problem is unbounded (and NP-complete for
+// fixed data graphs), so no bounded algorithm exists; this engine is the
+// natural affected-area heuristic the paper's analysis frames: deletions
+// drop the embeddings using the deleted edge, insertions enumerate
+// embeddings anchored on the inserted edge. Its per-update cost is the
+// anchored search cost — exponential in the worst case, exactly as
+// Theorem 7.1 predicts.
+
+import (
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// Engine maintains Miso(P, G) under edge updates (IncIsoMat).
+type Engine struct {
+	p          *pattern.Pattern
+	g          *graph.Graph
+	pedges     []pattern.Edge
+	embeddings map[string]Embedding
+	// edgeUse[dataEdge] = embedding keys with some pattern edge mapped to it.
+	edgeUse map[[2]graph.NodeID]map[string]bool
+}
+
+// NewEngine computes the initial embedding set with the batch enumerator.
+// The pattern must be normal.
+func NewEngine(p *pattern.Pattern, g *graph.Graph) *Engine {
+	e := &Engine{
+		p:          p,
+		g:          g,
+		pedges:     p.Edges(),
+		embeddings: make(map[string]Embedding),
+		edgeUse:    make(map[[2]graph.NodeID]map[string]bool),
+	}
+	for _, em := range Enumerate(p, g, 0) {
+		e.add(em)
+	}
+	return e
+}
+
+func (e *Engine) add(em Embedding) {
+	key := em.Key()
+	if _, ok := e.embeddings[key]; ok {
+		return
+	}
+	e.embeddings[key] = em
+	for _, pe := range e.pedges {
+		edge := [2]graph.NodeID{em[pe.From], em[pe.To]}
+		if e.edgeUse[edge] == nil {
+			e.edgeUse[edge] = make(map[string]bool)
+		}
+		e.edgeUse[edge][key] = true
+	}
+}
+
+func (e *Engine) remove(key string) {
+	em, ok := e.embeddings[key]
+	if !ok {
+		return
+	}
+	delete(e.embeddings, key)
+	for _, pe := range e.pedges {
+		edge := [2]graph.NodeID{em[pe.From], em[pe.To]}
+		if uses := e.edgeUse[edge]; uses != nil {
+			delete(uses, key)
+			if len(uses) == 0 {
+				delete(e.edgeUse, edge)
+			}
+		}
+	}
+}
+
+// Count returns |Miso(P, G)| (number of embeddings).
+func (e *Engine) Count() int { return len(e.embeddings) }
+
+// Embeddings returns the current embeddings in unspecified order.
+func (e *Engine) Embeddings() []Embedding {
+	out := make([]Embedding, 0, len(e.embeddings))
+	for _, em := range e.embeddings {
+		out = append(out, em)
+	}
+	return out
+}
+
+// Insert adds edge (v0, v1) and discovers the new embeddings, all of which
+// must map at least one pattern edge onto the inserted edge — the search is
+// anchored there, once per pattern edge.
+func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
+	added, err := e.g.AddEdge(v0, v1)
+	if err != nil || !added {
+		return false
+	}
+	for _, pe := range e.pedges {
+		// A self-loop pattern edge can only map to a data self-loop, and a
+		// data self-loop can only host a self-loop pattern edge.
+		if (pe.From == pe.To) != (v0 == v1) {
+			continue
+		}
+		s := newSearch(e.p, e.g, 0)
+		s.run(map[int]graph.NodeID{pe.From: v0, pe.To: v1})
+		for _, em := range s.found {
+			e.add(em)
+		}
+	}
+	return true
+}
+
+// Delete removes edge (v0, v1) and drops every embedding that used it.
+func (e *Engine) Delete(v0, v1 graph.NodeID) bool {
+	if !e.g.RemoveEdge(v0, v1) {
+		return false
+	}
+	if uses := e.edgeUse[[2]graph.NodeID{v0, v1}]; uses != nil {
+		keys := make([]string, 0, len(uses))
+		for k := range uses {
+			keys = append(keys, k)
+		}
+		for _, k := range keys {
+			e.remove(k)
+		}
+	}
+	return true
+}
+
+// Apply processes a batch of updates one at a time.
+func (e *Engine) Apply(ups []graph.Update) {
+	for _, up := range ups {
+		if up.Op == graph.InsertEdge {
+			e.Insert(up.From, up.To)
+		} else {
+			e.Delete(up.From, up.To)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package pattern
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestColoredEdgeAccessors(t *testing.T) {
+	p := New()
+	a := p.AddNode(Label("a"))
+	b := p.AddNode(Label("b"))
+	if err := p.AddColoredEdge(a, b, 2, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasColors() || p.Color(a, b) != "friend" {
+		t.Fatalf("color lost: %q", p.Color(a, b))
+	}
+	es := p.Edges()
+	if len(es) != 1 || es[0].Color != "friend" {
+		t.Fatalf("Edges() = %+v", es)
+	}
+	// Re-adding with an empty color clears it.
+	if err := p.AddColoredEdge(a, b, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if p.HasColors() {
+		t.Fatal("color should have been cleared")
+	}
+}
+
+func TestColoredEdgeCloneIndependence(t *testing.T) {
+	p := New()
+	a := p.AddNode(Label("a"))
+	b := p.AddNode(Label("b"))
+	if err := p.AddColoredEdge(a, b, 2, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if c.Color(a, b) != "friend" {
+		t.Fatal("clone lost color")
+	}
+	if err := c.AddColoredEdge(a, b, 2, "cites"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Color(a, b) != "friend" {
+		t.Fatal("clone mutation leaked")
+	}
+}
+
+func TestColoredEdgeDSLRoundTrip(t *testing.T) {
+	src := `node 0 label = "a"
+node 1 label = "b"
+edge 0 1 2 friend
+`
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Color(0, 1) != "friend" {
+		t.Fatalf("parsed color = %q", p.Color(0, 1))
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if q.Color(0, 1) != "friend" {
+		t.Fatalf("round-trip color = %q", q.Color(0, 1))
+	}
+	if b, _ := q.Bound(0, 1); b != 2 {
+		t.Fatalf("round-trip bound = %d", b)
+	}
+}
+
+func TestColoredEdgeDSLTooManyFields(t *testing.T) {
+	if _, err := Parse(strings.NewReader("node 0 true\nnode 1 true\nedge 0 1 2 friend extra")); err == nil {
+		t.Fatal("want error for 6-field edge line")
+	}
+}

@@ -1,0 +1,184 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gpm/internal/graph"
+)
+
+// The pattern text format used by the CLI tools:
+//
+//	# drug ring pattern
+//	node 0 label="B"
+//	node 1 label="AM" && contacts >= 10
+//	edge 0 1 1
+//	edge 1 2 3
+//	edge 0 3 *
+//	edge 2 3 2 friend
+//
+// A node line is "node <id> <predicate>", where the predicate is a
+// &&-separated conjunction of "attr op value" atoms, or the keyword "true".
+// An edge line is "edge <from> <to> <bound> [color]", where bound is a
+// positive integer or "*". Omitting the bound means 1 (a normal edge); an
+// optional trailing color restricts the edge to same-labeled paths.
+
+// Write serializes p in the text format.
+func (p *Pattern) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for u := 0; u < p.NumNodes(); u++ {
+		if _, err := fmt.Fprintf(bw, "node %d %s\n", u, p.preds[u]); err != nil {
+			return err
+		}
+	}
+	for _, e := range p.Edges() {
+		bound := "*"
+		if e.Bound != Unbounded {
+			bound = strconv.Itoa(e.Bound)
+		}
+		line := fmt.Sprintf("edge %d %d %s", e.From, e.To, bound)
+		if e.Color != "" {
+			line += " " + e.Color
+		}
+		if _, err := fmt.Fprintln(bw, line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads a pattern in the text format.
+func Parse(r io.Reader) (*Pattern, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	type nodeDecl struct {
+		id   int
+		pred Predicate
+	}
+	var nodes []nodeDecl
+	type edgeDecl struct {
+		from, to, bound int
+		color           string
+	}
+	var edges []edgeDecl
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "node "):
+			rest := strings.TrimSpace(line[len("node "):])
+			sp := strings.IndexByte(rest, ' ')
+			idStr, predStr := rest, ""
+			if sp >= 0 {
+				idStr, predStr = rest[:sp], strings.TrimSpace(rest[sp+1:])
+			}
+			id, err := strconv.Atoi(idStr)
+			if err != nil {
+				return nil, fmt.Errorf("pattern: line %d: bad node id %q", lineNo, idStr)
+			}
+			pred, err := ParsePredicate(predStr)
+			if err != nil {
+				return nil, fmt.Errorf("pattern: line %d: %v", lineNo, err)
+			}
+			nodes = append(nodes, nodeDecl{id, pred})
+		case strings.HasPrefix(line, "edge "):
+			fields := strings.Fields(line)
+			if len(fields) < 3 || len(fields) > 5 {
+				return nil, fmt.Errorf("pattern: line %d: edge needs 'edge from to [bound] [color]'", lineNo)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("pattern: line %d: bad edge endpoints", lineNo)
+			}
+			bound := 1
+			if len(fields) >= 4 {
+				if fields[3] == "*" {
+					bound = Unbounded
+				} else {
+					bound, err1 = strconv.Atoi(fields[3])
+					if err1 != nil || bound < 1 {
+						return nil, fmt.Errorf("pattern: line %d: bad bound %q", lineNo, fields[3])
+					}
+				}
+			}
+			color := ""
+			if len(fields) == 5 {
+				color = fields[4]
+			}
+			edges = append(edges, edgeDecl{from, to, bound, color})
+		default:
+			return nil, fmt.Errorf("pattern: line %d: unknown directive", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	p := New()
+	preds := make([]Predicate, len(nodes))
+	seen := make([]bool, len(nodes))
+	for _, nd := range nodes {
+		if nd.id < 0 || nd.id >= len(nodes) {
+			return nil, fmt.Errorf("pattern: node id %d out of dense range [0,%d)", nd.id, len(nodes))
+		}
+		if seen[nd.id] {
+			return nil, fmt.Errorf("pattern: duplicate node id %d", nd.id)
+		}
+		seen[nd.id] = true
+		preds[nd.id] = nd.pred
+	}
+	for _, pr := range preds {
+		p.AddNode(pr)
+	}
+	for _, e := range edges {
+		if err := p.AddColoredEdge(e.from, e.to, e.bound, e.color); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ParsePredicate parses a conjunction "attr op value && attr op value ...".
+// The empty string and "true" both denote the wildcard predicate.
+func ParsePredicate(s string) (Predicate, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "true" {
+		return nil, nil
+	}
+	var pred Predicate
+	for _, part := range strings.Split(s, "&&") {
+		atom, err := parseAtom(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		pred = append(pred, atom)
+	}
+	return pred, nil
+}
+
+func parseAtom(s string) (Atom, error) {
+	// Scan for the operator; two-character operators first so "<=" does not
+	// parse as "<" followed by "=".
+	for _, opStr := range []string{"<=", ">=", "!=", "<", ">", "="} {
+		if i := strings.Index(s, opStr); i > 0 {
+			attr := strings.TrimSpace(s[:i])
+			valStr := strings.TrimSpace(s[i+len(opStr):])
+			if attr == "" || valStr == "" {
+				return Atom{}, fmt.Errorf("bad atom %q", s)
+			}
+			op, err := ParseOp(opStr)
+			if err != nil {
+				return Atom{}, err
+			}
+			return Atom{Attr: attr, Op: op, Val: graph.ParseValue(valStr)}, nil
+		}
+	}
+	return Atom{}, fmt.Errorf("bad atom %q: no comparison operator", s)
+}

@@ -1,0 +1,270 @@
+// Package pattern implements the b-patterns of the paper: directed pattern
+// graphs P = (Vp, Ep, fV, fE) whose nodes carry search-condition predicates
+// (conjunctions of atoms "A op a") and whose edges carry a hop bound — a
+// positive integer k or * (unbounded). A normal pattern has every bound
+// equal to 1; traditional graph simulation and subgraph isomorphism are
+// defined on normal patterns.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpm/internal/graph"
+)
+
+// NodeID identifies a pattern node. IDs are dense: 0..Np-1.
+type NodeID = int
+
+// Unbounded is the edge bound written * in the paper: the pattern edge maps
+// to a nonempty path of arbitrary length.
+const Unbounded = graph.Unreachable
+
+// WithinBound reports whether a nonempty path of length dist satisfies an
+// edge bound: 1 <= dist <= bound, with unreachable pairs never satisfying.
+func WithinBound(dist, bound int) bool {
+	return dist >= 1 && dist < graph.Unreachable && dist <= bound
+}
+
+// Edge is a directed pattern edge with its bound fE and optional color: a
+// colored edge maps only to paths whose every data edge carries the same
+// label (the relationship-typed extension of Section 2.2's remark).
+type Edge struct {
+	From, To NodeID
+	Bound    int    // >= 1, or Unbounded
+	Color    string // "" = any edges
+}
+
+// Pattern is a b-pattern. The zero value is not usable; construct with New.
+type Pattern struct {
+	preds  []Predicate
+	out    [][]NodeID
+	in     [][]NodeID
+	bounds map[[2]NodeID]int
+	colors map[[2]NodeID]string // sparse: only colored edges
+}
+
+// New returns an empty pattern.
+func New() *Pattern {
+	return &Pattern{bounds: make(map[[2]NodeID]int)}
+}
+
+// NumNodes returns |Vp|.
+func (p *Pattern) NumNodes() int { return len(p.preds) }
+
+// NumEdges returns |Ep|.
+func (p *Pattern) NumEdges() int { return len(p.bounds) }
+
+// AddNode appends a pattern node with predicate fV(u) and returns its id.
+func (p *Pattern) AddNode(pred Predicate) NodeID {
+	id := len(p.preds)
+	p.preds = append(p.preds, pred)
+	p.out = append(p.out, nil)
+	p.in = append(p.in, nil)
+	return id
+}
+
+// AddEdge inserts a pattern edge (u, u') with the given bound (>= 1, or
+// Unbounded). Re-adding an existing edge overwrites its bound.
+func (p *Pattern) AddEdge(u, v NodeID, bound int) error {
+	if u < 0 || u >= len(p.preds) || v < 0 || v >= len(p.preds) {
+		return fmt.Errorf("pattern: AddEdge(%d, %d): node out of range [0, %d)", u, v, len(p.preds))
+	}
+	if bound < 1 {
+		return fmt.Errorf("pattern: AddEdge(%d, %d): bound %d < 1", u, v, bound)
+	}
+	key := [2]NodeID{u, v}
+	if _, ok := p.bounds[key]; !ok {
+		p.out[u] = append(p.out[u], v)
+		p.in[v] = append(p.in[v], u)
+	}
+	p.bounds[key] = bound
+	return nil
+}
+
+// AddColoredEdge inserts a pattern edge whose image paths must consist of
+// data edges labeled color throughout. An empty color is a plain edge.
+func (p *Pattern) AddColoredEdge(u, v NodeID, bound int, color string) error {
+	if err := p.AddEdge(u, v, bound); err != nil {
+		return err
+	}
+	if color != "" {
+		if p.colors == nil {
+			p.colors = make(map[[2]NodeID]string)
+		}
+		p.colors[[2]NodeID{u, v}] = color
+	} else if p.colors != nil {
+		delete(p.colors, [2]NodeID{u, v})
+	}
+	return nil
+}
+
+// Color returns the color of edge (u, v) ("" when plain or absent).
+func (p *Pattern) Color(u, v NodeID) string { return p.colors[[2]NodeID{u, v}] }
+
+// HasColors reports whether any edge is colored.
+func (p *Pattern) HasColors() bool { return len(p.colors) > 0 }
+
+// Pred returns the predicate of node u.
+func (p *Pattern) Pred(u NodeID) Predicate { return p.preds[u] }
+
+// Out returns the children of pattern node u.
+func (p *Pattern) Out(u NodeID) []NodeID { return p.out[u] }
+
+// In returns the parents of pattern node u.
+func (p *Pattern) In(u NodeID) []NodeID { return p.in[u] }
+
+// OutDegree returns the number of children of u.
+func (p *Pattern) OutDegree(u NodeID) int { return len(p.out[u]) }
+
+// Bound returns fE(u, u') and whether the edge exists.
+func (p *Pattern) Bound(u, v NodeID) (int, bool) {
+	b, ok := p.bounds[[2]NodeID{u, v}]
+	return b, ok
+}
+
+// Edges returns all pattern edges sorted lexicographically.
+func (p *Pattern) Edges() []Edge {
+	es := make([]Edge, 0, len(p.bounds))
+	for k, b := range p.bounds {
+		es = append(es, Edge{From: k[0], To: k[1], Bound: b, Color: p.colors[k]})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+// IsNormal reports whether every edge bound is 1 (a normal pattern).
+func (p *Pattern) IsNormal() bool {
+	for _, b := range p.bounds {
+		if b != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxBound returns km, the maximum bound over all edges: the largest finite
+// bound, or Unbounded if any edge is unbounded. A pattern without edges has
+// MaxBound 0.
+func (p *Pattern) MaxBound() int {
+	km := 0
+	for _, b := range p.bounds {
+		if b == Unbounded {
+			return Unbounded
+		}
+		if b > km {
+			km = b
+		}
+	}
+	return km
+}
+
+// MaxFiniteBound returns the largest finite bound (0 if none).
+func (p *Pattern) MaxFiniteBound() int {
+	km := 0
+	for _, b := range p.bounds {
+		if b != Unbounded && b > km {
+			km = b
+		}
+	}
+	return km
+}
+
+// HasUnbounded reports whether any edge carries *.
+func (p *Pattern) HasUnbounded() bool {
+	for _, b := range p.bounds {
+		if b == Unbounded {
+			return true
+		}
+	}
+	return false
+}
+
+// AsGraph returns the pattern's topology as an (unattributed) data graph,
+// which lets pattern analyses reuse the graph package's SCC, topological
+// sorting and rank machinery.
+func (p *Pattern) AsGraph() *graph.Graph {
+	g := graph.NewWithCapacity(p.NumNodes(), p.NumEdges())
+	for range p.preds {
+		g.AddNode(nil)
+	}
+	for k := range p.bounds {
+		if _, err := g.AddEdge(k[0], k[1]); err != nil {
+			panic("pattern: AsGraph: " + err.Error()) // unreachable: same topology
+		}
+	}
+	return g
+}
+
+// IsDAG reports whether the pattern is acyclic.
+func (p *Pattern) IsDAG() bool { return p.AsGraph().IsDAG() }
+
+// Clone returns a deep copy of p (predicates are shared: they are immutable).
+func (p *Pattern) Clone() *Pattern {
+	c := &Pattern{
+		preds:  append([]Predicate(nil), p.preds...),
+		out:    make([][]NodeID, len(p.out)),
+		in:     make([][]NodeID, len(p.in)),
+		bounds: make(map[[2]NodeID]int, len(p.bounds)),
+	}
+	for i := range p.out {
+		c.out[i] = append([]NodeID(nil), p.out[i]...)
+		c.in[i] = append([]NodeID(nil), p.in[i]...)
+	}
+	for k, v := range p.bounds {
+		c.bounds[k] = v
+	}
+	if len(p.colors) > 0 {
+		c.colors = make(map[[2]NodeID]string, len(p.colors))
+		for k, v := range p.colors {
+			c.colors[k] = v
+		}
+	}
+	return c
+}
+
+// Normalized returns a copy of p with every bound set to 1 — the normal
+// pattern with the same topology and predicates, used when comparing against
+// simulation/isomorphism baselines.
+func (p *Pattern) Normalized() *Pattern { return p.WithAllBounds(1) }
+
+// WithAllBounds returns a copy of p with every edge bound set to k, keeping
+// topology and predicates — used by bound-sensitivity experiments so that k
+// is the only variable.
+func (p *Pattern) WithAllBounds(k int) *Pattern {
+	c := p.Clone()
+	for key := range c.bounds {
+		c.bounds[key] = k
+	}
+	return c
+}
+
+// Validate checks structural invariants and returns a descriptive error for
+// the first violation: the pattern must be nonempty and bounds positive.
+func (p *Pattern) Validate() error {
+	if p.NumNodes() == 0 {
+		return fmt.Errorf("pattern: no nodes")
+	}
+	for k, b := range p.bounds {
+		if b < 1 {
+			return fmt.Errorf("pattern: edge (%d,%d) has bound %d < 1", k[0], k[1], b)
+		}
+	}
+	return nil
+}
+
+func (p *Pattern) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pattern{|Vp|=%d |Ep|=%d", p.NumNodes(), p.NumEdges())
+	if p.IsNormal() {
+		b.WriteString(" normal")
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,229 @@
+package pattern
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpm/internal/graph"
+)
+
+func TestPredicateEval(t *testing.T) {
+	tuple := graph.NewTuple("label", `"DM"`, "age", "30", "rating", "4.5")
+	cases := []struct {
+		pred string
+		want bool
+	}{
+		{`label = "DM"`, true},
+		{`label != "DM"`, false},
+		{`label = "SE"`, false},
+		{`age >= 30`, true},
+		{`age > 30`, false},
+		{`age < 31 && rating > 4`, true},
+		{`age < 31 && rating > 5`, false},
+		{`missing = 1`, false},
+		{`missing != 1`, false}, // absent attribute fails every atom
+		{`label = 30`, false},   // kind mismatch fails
+		{`true`, true},
+		{``, true},
+	}
+	for _, c := range cases {
+		pred, err := ParsePredicate(c.pred)
+		if err != nil {
+			t.Fatalf("ParsePredicate(%q): %v", c.pred, err)
+		}
+		if got := pred.Eval(tuple); got != c.want {
+			t.Errorf("Eval(%q) = %v, want %v", c.pred, got, c.want)
+		}
+	}
+}
+
+func TestParsePredicateOperators(t *testing.T) {
+	// "<=" must not parse as "<" with a stray "=".
+	pred, err := ParsePredicate("age <= 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 1 || pred[0].Op != OpLE {
+		t.Fatalf("parsed %v, want single <= atom", pred)
+	}
+	if _, err := ParsePredicate("age ~ 30"); err == nil {
+		t.Fatal("want error for unknown operator")
+	}
+	if _, err := ParsePredicate("= 30"); err == nil {
+		t.Fatal("want error for missing attribute")
+	}
+}
+
+func TestPatternConstruction(t *testing.T) {
+	p := New()
+	u := p.AddNode(Label("A"))
+	v := p.AddNode(Label("B"))
+	if err := p.AddEdge(u, v, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(u, 9, 1); err == nil {
+		t.Fatal("want error for out-of-range node")
+	}
+	if err := p.AddEdge(u, v, 0); err == nil {
+		t.Fatal("want error for bound < 1")
+	}
+	if b, ok := p.Bound(u, v); !ok || b != 3 {
+		t.Fatalf("Bound = (%d, %v), want (3, true)", b, ok)
+	}
+	if p.IsNormal() {
+		t.Fatal("bound-3 pattern reported normal")
+	}
+	if p.MaxBound() != 3 || p.MaxFiniteBound() != 3 {
+		t.Fatalf("MaxBound = %d", p.MaxBound())
+	}
+}
+
+func TestPatternUnbounded(t *testing.T) {
+	p := New()
+	u := p.AddNode(Label("A"))
+	v := p.AddNode(Label("B"))
+	if err := p.AddEdge(u, v, Unbounded); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasUnbounded() || p.MaxBound() != Unbounded || p.MaxFiniteBound() != 0 {
+		t.Fatal("unbounded edge not reflected in bounds")
+	}
+}
+
+func TestNormalizedAndClone(t *testing.T) {
+	p := New()
+	u := p.AddNode(Label("A"))
+	v := p.AddNode(Label("B"))
+	p.AddEdge(u, v, 5)
+	n := p.Normalized()
+	if !n.IsNormal() {
+		t.Fatal("Normalized not normal")
+	}
+	if b, _ := p.Bound(u, v); b != 5 {
+		t.Fatal("Normalized mutated the original")
+	}
+	c := p.Clone()
+	c.AddEdge(v, u, 2)
+	if _, ok := p.Bound(v, u); ok {
+		t.Fatal("Clone shares edge state")
+	}
+}
+
+func TestWithinBound(t *testing.T) {
+	cases := []struct {
+		dist, bound int
+		want        bool
+	}{
+		{1, 1, true},
+		{2, 1, false},
+		{0, 1, false}, // empty paths never satisfy
+		{3, Unbounded, true},
+		{graph.Unreachable, Unbounded, false},
+		{graph.Unreachable, 5, false},
+	}
+	for _, c := range cases {
+		if got := WithinBound(c.dist, c.bound); got != c.want {
+			t.Errorf("WithinBound(%d, %d) = %v, want %v", c.dist, c.bound, got, c.want)
+		}
+	}
+}
+
+func TestIsDAGAndAsGraph(t *testing.T) {
+	p := New()
+	a := p.AddNode(Label("a"))
+	b := p.AddNode(Label("b"))
+	p.AddEdge(a, b, 1)
+	if !p.IsDAG() {
+		t.Fatal("acyclic pattern reported cyclic")
+	}
+	p.AddEdge(b, a, 1)
+	if p.IsDAG() {
+		t.Fatal("cyclic pattern reported acyclic")
+	}
+	g := p.AsGraph()
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("AsGraph = %v", g)
+	}
+}
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	src := `# sample
+node 0 label = "B"
+node 1 label = "AM" && contacts >= 10
+node 2 true
+edge 0 1 1
+edge 1 2 3
+edge 0 2 *
+`
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.NumNodes() != 3 || p.NumEdges() != 3 {
+		t.Fatalf("parsed %v", p)
+	}
+	if b, _ := p.Bound(0, 2); b != Unbounded {
+		t.Fatalf("bound(0,2) = %d, want Unbounded", b)
+	}
+	if b, _ := p.Bound(1, 2); b != 3 {
+		t.Fatalf("bound(1,2) = %d, want 3", b)
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	q, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if q.NumNodes() != p.NumNodes() || q.NumEdges() != p.NumEdges() {
+		t.Fatal("round trip changed shape")
+	}
+	for _, e := range p.Edges() {
+		if b, ok := q.Bound(e.From, e.To); !ok || b != e.Bound {
+			t.Errorf("edge (%d,%d): bound %d != %d", e.From, e.To, b, e.Bound)
+		}
+	}
+}
+
+func TestParseEdgeDefaultBound(t *testing.T) {
+	p, err := Parse(strings.NewReader("node 0 true\nnode 1 true\nedge 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := p.Bound(0, 1); b != 1 {
+		t.Fatalf("default bound = %d, want 1", b)
+	}
+	if !p.IsNormal() {
+		t.Fatal("default-bound pattern should be normal")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"node x true",
+		"edge 0 1 0",
+		"edge 0",
+		"bogus",
+		"node 0 true\nnode 0 true",
+		"node 3 true",
+		"node 0 label >",
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := New()
+	if p.Validate() == nil {
+		t.Fatal("empty pattern should not validate")
+	}
+	p.AddNode(Label("a"))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

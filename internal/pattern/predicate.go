@@ -1,0 +1,123 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"gpm/internal/graph"
+)
+
+// CmpOp is a comparison operator in a predicate atom.
+type CmpOp uint8
+
+// The comparison operators of the paper: <, <=, =, !=, >, >=.
+const (
+	OpLT CmpOp = iota
+	OpLE
+	OpEQ
+	OpNE
+	OpGT
+	OpGE
+)
+
+var opNames = [...]string{OpLT: "<", OpLE: "<=", OpEQ: "=", OpNE: "!=", OpGT: ">", OpGE: ">="}
+
+func (o CmpOp) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", o)
+}
+
+// ParseOp parses a comparison operator token.
+func ParseOp(s string) (CmpOp, error) {
+	for op, name := range opNames {
+		if s == name {
+			return CmpOp(op), nil
+		}
+	}
+	return 0, fmt.Errorf("pattern: unknown comparison operator %q", s)
+}
+
+// Atom is an atomic formula "A op a": attribute name, operator, constant.
+type Atom struct {
+	Attr string
+	Op   CmpOp
+	Val  graph.Value
+}
+
+// Eval reports whether tuple t satisfies the atom: attribute Attr must be
+// present and compare true against Val. Atoms over incomparable kinds
+// (string vs numeric) evaluate to false for every operator, including != —
+// the paper's predicates are typed, so a kind mismatch is a non-match.
+func (a Atom) Eval(t graph.Tuple) bool {
+	v, ok := t.Get(a.Attr)
+	if !ok {
+		return false
+	}
+	c, comparable := v.Compare(a.Val)
+	if !comparable {
+		return false
+	}
+	switch a.Op {
+	case OpLT:
+		return c < 0
+	case OpLE:
+		return c <= 0
+	case OpEQ:
+		return c == 0
+	case OpNE:
+		return c != 0
+	case OpGT:
+		return c > 0
+	case OpGE:
+		return c >= 0
+	}
+	return false
+}
+
+func (a Atom) String() string {
+	return fmt.Sprintf("%s %s %s", a.Attr, a.Op, a.Val.Quote())
+}
+
+// Predicate is fV(u): a conjunction of atoms. The empty predicate is
+// satisfied by every node (a wildcard).
+type Predicate []Atom
+
+// Eval reports whether tuple t satisfies every atom (v ⊨ u).
+func (p Predicate) Eval(t graph.Tuple) bool {
+	for _, a := range p {
+		if !a.Eval(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Predicate) String() string {
+	if len(p) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(p))
+	for i, a := range p {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " && ")
+}
+
+// LabelAttr is the conventional attribute name holding a node's label; the
+// paper writes fV(u) = A as shorthand for "label = A".
+const LabelAttr = "label"
+
+// Label returns the predicate "label = l".
+func Label(l string) Predicate {
+	return Predicate{{Attr: LabelAttr, Op: OpEQ, Val: graph.String(l)}}
+}
+
+// Where appends the atom "attr op val" to a copy of p, for fluent
+// construction of multi-condition predicates.
+func (p Predicate) Where(attr string, op CmpOp, val graph.Value) Predicate {
+	q := make(Predicate, len(p), len(p)+1)
+	copy(q, p)
+	return append(q, Atom{Attr: attr, Op: op, Val: val})
+}

@@ -1,0 +1,223 @@
+// Package rel provides node sets and match relations — the S ⊆ Vp × V
+// binary relations that (bounded) simulation computes, represented as one
+// set of data-graph nodes per pattern node.
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpm/internal/graph"
+)
+
+// Set is a set of data-graph nodes. The zero value is not usable; construct
+// with NewSet.
+type Set map[graph.NodeID]struct{}
+
+// NewSet returns an empty set with optional initial members.
+func NewSet(members ...graph.NodeID) Set {
+	s := make(Set, len(members))
+	for _, v := range members {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts v, reporting whether it was absent.
+func (s Set) Add(v graph.NodeID) bool {
+	if _, ok := s[v]; ok {
+		return false
+	}
+	s[v] = struct{}{}
+	return true
+}
+
+// Remove deletes v, reporting whether it was present.
+func (s Set) Remove(v graph.NodeID) bool {
+	if _, ok := s[v]; !ok {
+		return false
+	}
+	delete(s, v)
+	return true
+}
+
+// Has reports membership.
+func (s Set) Has(v graph.NodeID) bool {
+	_, ok := s[v]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for v := range s {
+		c[v] = struct{}{}
+	}
+	return c
+}
+
+// Sorted returns the members in ascending order.
+func (s Set) Sorted() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Equal reports whether two sets have the same members.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for v := range s {
+		if _, ok := t[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) String() string {
+	ids := s.Sorted()
+	parts := make([]string, len(ids))
+	for i, v := range ids {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Relation is a match relation S ⊆ Vp × V, stored as the set of data nodes
+// matching each pattern node: Relation[u] = {v : (u, v) ∈ S}.
+type Relation []Set
+
+// NewRelation returns a relation over np pattern nodes with empty sets.
+func NewRelation(np int) Relation {
+	r := make(Relation, np)
+	for i := range r {
+		r[i] = NewSet()
+	}
+	return r
+}
+
+// Has reports whether (u, v) ∈ S.
+func (r Relation) Has(u int, v graph.NodeID) bool { return r[u].Has(v) }
+
+// Size returns |S|, the number of pairs.
+func (r Relation) Size() int {
+	n := 0
+	for _, s := range r {
+		n += len(s)
+	}
+	return n
+}
+
+// Empty reports whether the relation has no pairs.
+func (r Relation) Empty() bool { return r.Size() == 0 }
+
+// Total reports whether every pattern node has at least one match — the
+// condition (1) of the bounded-simulation definition. A maximum match that
+// is not total is the empty relation by the paper's convention.
+func (r Relation) Total() bool {
+	for _, s := range r {
+		if len(s) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear empties every set in place (the "P does not match G" outcome).
+func (r Relation) Clear() {
+	for i := range r {
+		r[i] = NewSet()
+	}
+}
+
+// Clone returns a deep copy.
+func (r Relation) Clone() Relation {
+	c := make(Relation, len(r))
+	for i, s := range r {
+		c[i] = s.Clone()
+	}
+	return c
+}
+
+// Equal reports whether two relations contain the same pairs.
+func (r Relation) Equal(t Relation) bool {
+	if len(r) != len(t) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Pair is a single (pattern node, data node) match.
+type Pair struct {
+	U int          // pattern node
+	V graph.NodeID // data node
+}
+
+// Pairs returns the relation as a sorted list of pairs.
+func (r Relation) Pairs() []Pair {
+	ps := make([]Pair, 0, r.Size())
+	for u, s := range r {
+		for _, v := range s.Sorted() {
+			ps = append(ps, Pair{U: u, V: v})
+		}
+	}
+	return ps
+}
+
+// Diff returns the pairs in r but not in t (removed) and in t but not in r
+// (added) — the ΔM of the incremental matching problem.
+func (r Relation) Diff(t Relation) (removed, added []Pair) {
+	for u := range r {
+		for v := range r[u] {
+			if !t[u].Has(v) {
+				removed = append(removed, Pair{u, v})
+			}
+		}
+	}
+	for u := range t {
+		for v := range t[u] {
+			if u >= len(r) || !r[u].Has(v) {
+				added = append(added, Pair{u, v})
+			}
+		}
+	}
+	sortPairs(removed)
+	sortPairs(added)
+	return removed, added
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].U != ps[j].U {
+			return ps[i].U < ps[j].U
+		}
+		return ps[i].V < ps[j].V
+	})
+}
+
+func (r Relation) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for u, s := range r {
+		if u > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d->%s", u, s)
+	}
+	b.WriteString("}")
+	return b.String()
+}

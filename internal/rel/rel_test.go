@@ -1,0 +1,171 @@
+package rel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3, 1, 2)
+	if s.Len() != 3 || !s.Has(1) || s.Has(9) {
+		t.Fatalf("set = %v", s)
+	}
+	if s.Add(1) {
+		t.Fatal("re-adding should report false")
+	}
+	if !s.Add(9) || !s.Has(9) {
+		t.Fatal("Add(9) failed")
+	}
+	if !s.Remove(9) || s.Remove(9) {
+		t.Fatal("Remove semantics broken")
+	}
+	want := []int{1, 2, 3}
+	if got := s.Sorted(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sorted = %v, want %v", got, want)
+	}
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	s := NewSet(1, 2)
+	c := s.Clone()
+	c.Add(3)
+	if s.Has(3) {
+		t.Fatal("clone shares storage")
+	}
+	if !s.Equal(NewSet(2, 1)) {
+		t.Fatal("Equal broken")
+	}
+	if s.Equal(c) {
+		t.Fatal("Equal false negative expected")
+	}
+}
+
+// Property: for arbitrary membership vectors, union-style Add/Remove
+// sequences keep Has consistent with a reference map (testing/quick).
+func TestSetQuickAgainstReference(t *testing.T) {
+	f := func(ops []uint8, keys []uint8) bool {
+		s := NewSet()
+		ref := map[int]bool{}
+		n := len(ops)
+		if len(keys) < n {
+			n = len(keys)
+		}
+		for i := 0; i < n; i++ {
+			k := int(keys[i] % 16)
+			if ops[i]%2 == 0 {
+				s.Add(k)
+				ref[k] = true
+			} else {
+				s.Remove(k)
+				delete(ref, k)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if !s.Has(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation(2)
+	if !r.Empty() || r.Total() {
+		t.Fatal("fresh relation should be empty and not total")
+	}
+	r[0].Add(5)
+	if r.Empty() || r.Total() || r.Size() != 1 {
+		t.Fatalf("relation state wrong: %v", r)
+	}
+	r[1].Add(6)
+	if !r.Total() {
+		t.Fatal("should be total now")
+	}
+	if !r.Has(0, 5) || r.Has(0, 6) {
+		t.Fatal("Has broken")
+	}
+	r.Clear()
+	if !r.Empty() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestRelationDiff(t *testing.T) {
+	a := NewRelation(2)
+	a[0].Add(1)
+	a[1].Add(2)
+	b := a.Clone()
+	b[0].Remove(1)
+	b[0].Add(3)
+	removed, added := a.Diff(b)
+	if len(removed) != 1 || removed[0] != (Pair{0, 1}) {
+		t.Fatalf("removed = %v", removed)
+	}
+	if len(added) != 1 || added[0] != (Pair{0, 3}) {
+		t.Fatalf("added = %v", added)
+	}
+}
+
+func TestRelationPairsSorted(t *testing.T) {
+	r := NewRelation(2)
+	r[1].Add(9)
+	r[0].Add(7)
+	r[0].Add(3)
+	ps := r.Pairs()
+	want := []Pair{{0, 3}, {0, 7}, {1, 9}}
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("Pairs = %v, want %v", ps, want)
+	}
+}
+
+// Property: Diff(r, r2) and reapplying the delta reconstructs r2
+// (testing/quick over random relations).
+func TestRelationDiffRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		a := NewRelation(3)
+		b := NewRelation(3)
+		for u := 0; u < 3; u++ {
+			for v := 0; v < 8; v++ {
+				if rng.Intn(2) == 0 {
+					a[u].Add(v)
+				}
+				if rng.Intn(2) == 0 {
+					b[u].Add(v)
+				}
+			}
+		}
+		removed, added := a.Diff(b)
+		c := a.Clone()
+		for _, p := range removed {
+			c[p.U].Remove(p.V)
+		}
+		for _, p := range added {
+			c[p.U].Add(p.V)
+		}
+		if !c.Equal(b) {
+			t.Fatalf("trial %d: delta does not reconstruct: a=%v b=%v c=%v", trial, a, b, c)
+		}
+	}
+}
+
+func TestStringRepresentations(t *testing.T) {
+	s := NewSet(2, 1)
+	if s.String() != "{1 2}" {
+		t.Fatalf("Set.String = %q", s.String())
+	}
+	r := NewRelation(1)
+	r[0].Add(4)
+	if r.String() != "{0->{4}}" {
+		t.Fatalf("Relation.String = %q", r.String())
+	}
+}

@@ -1,0 +1,147 @@
+// Package resultgraph implements the result graphs Gr of Section 4: the
+// graph representation of a match relation M(P, G), whose nodes are the
+// matched data nodes and whose edges are the projections of pattern edges
+// (edge-to-edge for simulation, edge-to-path for bounded simulation). The
+// changes ΔM of the incremental matching problem are reported as diffs
+// between result graphs.
+package resultgraph
+
+import (
+	"fmt"
+
+	"gpm/internal/distance"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/rel"
+)
+
+// Graph is a result graph Gr = (Vr, Er).
+type Graph struct {
+	Nodes rel.Set
+	Edges map[[2]graph.NodeID]struct{}
+}
+
+// NewGraph returns an empty result graph.
+func NewGraph() *Graph {
+	return &Graph{Nodes: rel.NewSet(), Edges: make(map[[2]graph.NodeID]struct{})}
+}
+
+// NumNodes returns |Vr|.
+func (rg *Graph) NumNodes() int { return rg.Nodes.Len() }
+
+// NumEdges returns |Er|.
+func (rg *Graph) NumEdges() int { return len(rg.Edges) }
+
+// HasEdge reports whether (u, v) ∈ Er.
+func (rg *Graph) HasEdge(u, v graph.NodeID) bool {
+	_, ok := rg.Edges[[2]graph.NodeID{u, v}]
+	return ok
+}
+
+// FromSimulation builds the result graph of a simulation match: (v1, v2) is
+// an edge iff some pattern edge (u1, u2) has v1 ∈ r[u1], v2 ∈ r[u2] and
+// (v1, v2) ∈ E.
+func FromSimulation(p *pattern.Pattern, g *graph.Graph, r rel.Relation) *Graph {
+	rg := NewGraph()
+	if len(r) < p.NumNodes() {
+		return rg // nil or truncated relation: empty result graph
+	}
+	for u := range r {
+		for v := range r[u] {
+			rg.Nodes.Add(v)
+		}
+	}
+	for _, pe := range p.Edges() {
+		for v1 := range r[pe.From] {
+			for _, v2 := range g.Out(v1) {
+				if r[pe.To].Has(v2) {
+					rg.Edges[[2]graph.NodeID{v1, v2}] = struct{}{}
+				}
+			}
+		}
+	}
+	return rg
+}
+
+// FromBounded builds the result graph of a bounded-simulation match:
+// (v1, v2) is an edge iff some pattern edge (u1, u2) has v1 ∈ r[u1],
+// v2 ∈ r[u2] and a nonempty path from v1 to v2 within the edge's bound.
+func FromBounded(p *pattern.Pattern, g *graph.Graph, r rel.Relation, oracle distance.Oracle) *Graph {
+	rg := NewGraph()
+	if len(r) < p.NumNodes() {
+		return rg // nil or truncated relation: empty result graph
+	}
+	if oracle == nil {
+		oracle = distance.NewBFS(g)
+	}
+	for u := range r {
+		for v := range r[u] {
+			rg.Nodes.Add(v)
+		}
+	}
+	for _, pe := range p.Edges() {
+		for v1 := range r[pe.From] {
+			for v2 := range r[pe.To] {
+				if pattern.WithinBound(distance.NonemptyDist(oracle, g, v1, v2), pe.Bound) {
+					rg.Edges[[2]graph.NodeID{v1, v2}] = struct{}{}
+				}
+			}
+		}
+	}
+	return rg
+}
+
+// Delta is the difference between two result graphs — the ΔM a user
+// observes, measured in nodes and edges as in Example 4.2.
+type Delta struct {
+	RemovedNodes, AddedNodes []graph.NodeID
+	RemovedEdges, AddedEdges [][2]graph.NodeID
+}
+
+// Size returns |ΔM|: the total number of changed nodes and edges.
+func (d Delta) Size() int {
+	return len(d.RemovedNodes) + len(d.AddedNodes) + len(d.RemovedEdges) + len(d.AddedEdges)
+}
+
+// Diff computes the delta that turns rg into next.
+func (rg *Graph) Diff(next *Graph) Delta {
+	var d Delta
+	for v := range rg.Nodes {
+		if !next.Nodes.Has(v) {
+			d.RemovedNodes = append(d.RemovedNodes, v)
+		}
+	}
+	for v := range next.Nodes {
+		if !rg.Nodes.Has(v) {
+			d.AddedNodes = append(d.AddedNodes, v)
+		}
+	}
+	for e := range rg.Edges {
+		if _, ok := next.Edges[e]; !ok {
+			d.RemovedEdges = append(d.RemovedEdges, e)
+		}
+	}
+	for e := range next.Edges {
+		if _, ok := rg.Edges[e]; !ok {
+			d.AddedEdges = append(d.AddedEdges, e)
+		}
+	}
+	return d
+}
+
+// Equal reports whether two result graphs are identical.
+func (rg *Graph) Equal(other *Graph) bool {
+	if !rg.Nodes.Equal(other.Nodes) || len(rg.Edges) != len(other.Edges) {
+		return false
+	}
+	for e := range rg.Edges {
+		if _, ok := other.Edges[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (rg *Graph) String() string {
+	return fmt.Sprintf("resultgraph{|Vr|=%d |Er|=%d}", rg.NumNodes(), rg.NumEdges())
+}

@@ -1,0 +1,95 @@
+package resultgraph
+
+import (
+	"testing"
+
+	"gpm/internal/core"
+	"gpm/internal/fixtures"
+	"gpm/internal/graph"
+	"gpm/internal/simulation"
+)
+
+func TestFromBoundedFriendFeed(t *testing.T) {
+	// Fig. 5 Gr1: result-graph edges are projections of pattern edges onto
+	// bounded paths — Ann reaches Dan in 2 hops, so (Ann, Dan) is an edge
+	// although G has no such edge.
+	p, g, ids, _ := fixtures.FriendFeed()
+	r := core.Match(p, g)
+	rg := FromBounded(p, g, r, nil)
+	if !rg.Nodes.Has(ids["Ann"]) || rg.Nodes.Has(ids["Ross"]) {
+		t.Fatalf("nodes wrong: %v", rg.Nodes)
+	}
+	if !rg.HasEdge(ids["Ann"], ids["Pat"]) {
+		t.Fatal("missing 1-hop projection (Ann, Pat)")
+	}
+	if !rg.HasEdge(ids["Ann"], ids["Dan"]) {
+		t.Fatal("missing 2-hop projection (Ann, Dan)")
+	}
+	// DB→CTO is unbounded: Pat reaches Ann via Dan.
+	if !rg.HasEdge(ids["Pat"], ids["Ann"]) {
+		t.Fatal("missing unbounded projection (Pat, Ann)")
+	}
+}
+
+func TestFromSimulationEdgesAreGraphEdges(t *testing.T) {
+	p, g, ids := fixtures.TeamFormation()
+	np := p.Normalized()
+	r := simulation.Maximum(np, g)
+	rg := FromSimulation(np, g, r)
+	for e := range rg.Edges {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("simulation result edge %v not a graph edge", e)
+		}
+	}
+	_ = ids
+}
+
+func TestDiffAndDelta(t *testing.T) {
+	p, g, _, ups := fixtures.FriendFeed()
+	before := FromBounded(p, g, core.Match(p, g), nil)
+	if _, err := g.ApplyAll(ups); err != nil {
+		t.Fatal(err)
+	}
+	after := FromBounded(p, g, core.Match(p, g), nil)
+	d := before.Diff(after)
+	if len(d.AddedNodes) == 0 {
+		t.Fatal("ΔM should add nodes (Don)")
+	}
+	if len(d.RemovedNodes) != 0 {
+		t.Fatalf("insertions should not remove nodes: %v", d.RemovedNodes)
+	}
+	if d.Size() != len(d.AddedNodes)+len(d.AddedEdges) {
+		t.Fatal("Size accounting wrong")
+	}
+	if before.Equal(after) {
+		t.Fatal("Equal should detect the change")
+	}
+	if !before.Equal(before) {
+		t.Fatal("Equal not reflexive")
+	}
+}
+
+func TestEmptyRelationEmptyGraph(t *testing.T) {
+	p, g, _, _ := fixtures.FriendFeed()
+	rg := FromBounded(p, g, nil, nil)
+	if rg.NumNodes() != 0 || rg.NumEdges() != 0 {
+		t.Fatalf("empty relation should give empty result graph: %v", rg)
+	}
+}
+
+func TestDeltaOnDeletion(t *testing.T) {
+	p, g, ids, _ := fixtures.FriendFeed()
+	before := FromBounded(p, g, core.Match(p, g), nil)
+	g.RemoveEdge(ids["Pat"], ids["Bill"])
+	after := FromBounded(p, g, core.Match(p, g), nil)
+	d := before.Diff(after)
+	found := false
+	for _, v := range d.RemovedNodes {
+		if v == graph.NodeID(ids["Pat"]) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Pat should drop out of the result graph: %+v", d)
+	}
+}

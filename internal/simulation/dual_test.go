@@ -1,0 +1,98 @@
+package simulation
+
+import (
+	"testing"
+
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+func TestDualSubsetOfSimulation(t *testing.T) {
+	// Dual simulation refines plain simulation: every dual match pair is a
+	// simulation match pair.
+	for seed := int64(0); seed < 30; seed++ {
+		g := generator.RandomGraph(14, 28, 3, seed)
+		p := generator.RandomPattern(4, 5, 3, 1, seed+100)
+		dual := DualMaximum(p, g)
+		plain := Maximum(p, g)
+		for u := range dual {
+			for v := range dual[u] {
+				if !plain[u].Has(v) {
+					t.Fatalf("seed %d: dual pair (%d,%d) not in simulation", seed, u, v)
+				}
+			}
+		}
+		if !DualHolds(p, g, dual) {
+			t.Fatalf("seed %d: result is not a dual simulation", seed)
+		}
+	}
+}
+
+func TestDualPrunesDanglingAncestors(t *testing.T) {
+	// Pattern a→b. Graph: a0→b0 and a1→b0. Plain simulation matches both
+	// a-nodes and b0; dual simulation does too (b0 has parents). Now a
+	// childless b1: never a match for b under either. The dual-only case:
+	// b2 with NO parent matching a — reachable only from a c-node.
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("a"))
+	b := p.AddNode(pattern.Label("b"))
+	p.AddEdge(a, b, 1)
+
+	g := graph.New()
+	a0 := g.AddNode(graph.NewTuple("label", `"a"`))
+	b0 := g.AddNode(graph.NewTuple("label", `"b"`))
+	c0 := g.AddNode(graph.NewTuple("label", `"c"`))
+	b2 := g.AddNode(graph.NewTuple("label", `"b"`))
+	g.AddEdge(a0, b0)
+	g.AddEdge(c0, b2) // b2's only parent is a c-node
+
+	plain := Maximum(p, g)
+	dual := DualMaximum(p, g)
+	if !plain[b].Has(b2) {
+		t.Fatal("plain simulation should admit b2 (no parent condition)")
+	}
+	if dual[b].Has(b2) {
+		t.Fatal("dual simulation must prune b2 (no matching parent)")
+	}
+	if !dual[a].Has(a0) || !dual[b].Has(b0) {
+		t.Fatalf("dual lost the witness: %v", dual)
+	}
+}
+
+func TestDualMaximumIsMaximal(t *testing.T) {
+	for seed := int64(50); seed < 70; seed++ {
+		g := generator.RandomGraph(12, 22, 2, seed)
+		p := generator.RandomPattern(3, 4, 2, 1, seed+100)
+		dual := DualMaximum(p, g)
+		if dual.Empty() {
+			continue
+		}
+		for u := 0; u < p.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if dual[u].Has(v) || !p.Pred(u).Eval(g.Attrs(v)) {
+					continue
+				}
+				r2 := dual.Clone()
+				r2[u].Add(v)
+				if DualHolds(p, g, r2) {
+					t.Fatalf("seed %d: (%d,%d) could be added — not maximal", seed, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDualEmptyWhenNoParentSupport(t *testing.T) {
+	// Cycle pattern over an acyclic graph: parents cannot be supplied.
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("a"))
+	p.AddEdge(a, a, 1)
+	g := graph.New()
+	g.AddNode(graph.NewTuple("label", `"a"`))
+	g.AddNode(graph.NewTuple("label", `"a"`))
+	g.AddEdge(0, 1)
+	if r := DualMaximum(p, g); !r.Empty() {
+		t.Fatalf("want empty: %v", r)
+	}
+}

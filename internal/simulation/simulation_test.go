@@ -1,0 +1,154 @@
+package simulation
+
+import (
+	"testing"
+
+	"gpm/internal/fixtures"
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+func TestMaximumSimpleChain(t *testing.T) {
+	// Pattern a→b over graph a0→b0, a1→b1, a2 (no child).
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("a"))
+	b := p.AddNode(pattern.Label("b"))
+	p.AddEdge(a, b, 1)
+
+	g := graph.New()
+	a0 := g.AddNode(graph.NewTuple("label", `"a"`))
+	b0 := g.AddNode(graph.NewTuple("label", `"b"`))
+	a1 := g.AddNode(graph.NewTuple("label", `"a"`))
+	b1 := g.AddNode(graph.NewTuple("label", `"b"`))
+	a2 := g.AddNode(graph.NewTuple("label", `"a"`))
+	g.AddEdge(a0, b0)
+	g.AddEdge(a1, b1)
+
+	r := Maximum(p, g)
+	if !r[a].Has(a0) || !r[a].Has(a1) || r[a].Has(a2) {
+		t.Fatalf("sim(a) = %v", r[a])
+	}
+	if !r[b].Has(b0) || !r[b].Has(b1) {
+		t.Fatalf("sim(b) = %v", r[b])
+	}
+}
+
+func TestMaximumEmptyWhenNodeUnmatched(t *testing.T) {
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("a"))
+	c := p.AddNode(pattern.Label("missing"))
+	p.AddEdge(a, c, 1)
+
+	g := graph.New()
+	g.AddNode(graph.NewTuple("label", `"a"`))
+	r := Maximum(p, g)
+	if !r.Empty() {
+		t.Fatalf("match should be empty, got %v", r)
+	}
+}
+
+func TestMaximumCyclePattern(t *testing.T) {
+	// Cyclic pattern a⇄b; graph has a matching 2-cycle and a dead-end pair.
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("a"))
+	b := p.AddNode(pattern.Label("b"))
+	p.AddEdge(a, b, 1)
+	p.AddEdge(b, a, 1)
+
+	g := graph.New()
+	a0 := g.AddNode(graph.NewTuple("label", `"a"`))
+	b0 := g.AddNode(graph.NewTuple("label", `"b"`))
+	a1 := g.AddNode(graph.NewTuple("label", `"a"`))
+	b1 := g.AddNode(graph.NewTuple("label", `"b"`))
+	g.AddEdge(a0, b0)
+	g.AddEdge(b0, a0)
+	g.AddEdge(a1, b1) // b1 has no edge back: neither a1 nor b1 matches
+
+	r := Maximum(p, g)
+	if !r[a].Has(a0) || !r[b].Has(b0) {
+		t.Fatalf("cycle nodes should match: %v", r)
+	}
+	if r[a].Has(a1) || r[b].Has(b1) {
+		t.Fatalf("dead-end nodes should not match: %v", r)
+	}
+}
+
+func TestMaximumIsMaximal(t *testing.T) {
+	// Proposition 2.1: the result contains every valid simulation pair.
+	p, g, _ := fixtures.TeamFormation()
+	np := p.Normalized() // bound semantics dropped; structure retained
+	r := Maximum(np, g)
+	if !Holds(np, g, r) {
+		t.Fatal("Maximum result is not a simulation")
+	}
+	// Adding any non-member pair must break the simulation property.
+	for u := 0; u < np.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			if r.Empty() {
+				continue
+			}
+			if r[u].Has(v) || !np.Pred(u).Eval(g.Attrs(v)) {
+				continue
+			}
+			r2 := r.Clone()
+			r2[u].Add(v)
+			if Holds(np, g, r2) {
+				t.Fatalf("pair (%d,%d) could be added: Maximum was not maximal", u, v)
+			}
+		}
+	}
+}
+
+func TestMaximumMatchesNaiveOnRandomInputs(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		g := generator.RandomGraph(14, 28, 3, seed)
+		p := generator.RandomPattern(4, 5, 3, 1, seed+1000)
+		got := Maximum(p, g)
+		want := NaiveMaximum(p, g)
+		if !got.Equal(want) {
+			t.Fatalf("seed %d: Maximum=%v NaiveMaximum=%v", seed, got, want)
+		}
+		if !Holds(p, g, got) {
+			t.Fatalf("seed %d: result is not a simulation", seed)
+		}
+	}
+}
+
+func TestMaximumSelfLoopPattern(t *testing.T) {
+	// Fig. 6 family: self-loop pattern matches exactly the nodes on cycles.
+	p, g, ups := fixtures.SimWitness(5)
+	if !Maximum(p, g).Empty() {
+		t.Fatal("chains contain no cycle: match should be empty")
+	}
+	g.Apply(ups.E1)
+	if !Maximum(p, g).Empty() {
+		t.Fatal("still acyclic after e1: match should be empty")
+	}
+	g.Apply(ups.E2)
+	r := Maximum(p, g)
+	if r.Size() != 10 {
+		t.Fatalf("after closing the cycle: %d matches, want 10", r.Size())
+	}
+}
+
+func TestHoldsRejectsBogusRelation(t *testing.T) {
+	p := pattern.New()
+	a := p.AddNode(pattern.Label("a"))
+	b := p.AddNode(pattern.Label("b"))
+	p.AddEdge(a, b, 1)
+	g := graph.New()
+	ga := g.AddNode(graph.NewTuple("label", `"a"`))
+	gb := g.AddNode(graph.NewTuple("label", `"b"`))
+	// No edge in g: {a→ga, b→gb} is not a simulation.
+	r := Maximum(p, g)
+	if !r.Empty() {
+		t.Fatal("expected empty max match")
+	}
+	bogus := r.Clone()
+	bogus[a].Add(ga)
+	bogus[b].Add(gb)
+	if Holds(p, g, bogus) {
+		t.Fatal("Holds accepted a non-simulation")
+	}
+}
