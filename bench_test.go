@@ -8,9 +8,15 @@ package gpm_test
 
 import (
 	"io"
+	"sync"
 	"testing"
 
+	"gpm/internal/distance"
 	"gpm/internal/exp"
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/incbsim"
+	"gpm/internal/landmark"
 )
 
 func benchCfg() exp.Config {
@@ -75,3 +81,69 @@ func BenchmarkAllFigures(b *testing.B) {
 		exp.All(cfg, io.Discard)
 	}
 }
+
+// --- Parallel vs serial hot paths (the internal/par subsystem) ---
+//
+// The oracle builds are one independent BFS per source, so the parallel
+// builds should scale near-linearly with workers. Compare e.g.:
+//
+//	go test -bench 'NewMatrix' -benchtime 3x
+
+var benchGraphOnce struct {
+	sync.Once
+	g *graph.Graph
+}
+
+// benchGraph returns a shared ≥10k-node generator graph (built once).
+func benchGraph() *graph.Graph {
+	benchGraphOnce.Do(func() {
+		benchGraphOnce.g = generator.Synthetic(10000, 40000, generator.DefaultSchema(4), 42)
+	})
+	return benchGraphOnce.g
+}
+
+func benchNewMatrix(b *testing.B, workers int) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distance.NewMatrixWorkers(g, workers)
+	}
+}
+
+func BenchmarkNewMatrixSerial(b *testing.B)     { benchNewMatrix(b, 1) }
+func BenchmarkNewMatrixWorkers2(b *testing.B)   { benchNewMatrix(b, 2) }
+func BenchmarkNewMatrixWorkers4(b *testing.B)   { benchNewMatrix(b, 4) }
+func BenchmarkNewMatrixWorkersMax(b *testing.B) { benchNewMatrix(b, 0) }
+
+func benchLandmarkNew(b *testing.B, workers int) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		landmark.NewWorkers(g, workers)
+	}
+}
+
+func BenchmarkLandmarkNewSerial(b *testing.B)   { benchLandmarkNew(b, 1) }
+func BenchmarkLandmarkNewWorkers4(b *testing.B) { benchLandmarkNew(b, 4) }
+
+func benchIncBSimDeletes(b *testing.B, workers int) {
+	base := generator.Synthetic(3000, 12000, generator.DefaultSchema(4), 42)
+	p := generator.EmbeddedPattern(base, generator.PatternParams{Nodes: 4, Edges: 4, Preds: 1, K: 2}, 42)
+	dels := generator.Updates(base, 0, 200, 43)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := base.Clone()
+		eng, err := incbsim.New(p, g, incbsim.WithWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, up := range dels {
+			eng.Delete(up.From, up.To)
+		}
+	}
+}
+
+func BenchmarkIncBSimDeleteSerial(b *testing.B)   { benchIncBSimDeletes(b, 1) }
+func BenchmarkIncBSimDeleteWorkers4(b *testing.B) { benchIncBSimDeletes(b, 4) }

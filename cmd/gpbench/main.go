@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"gpm/internal/exp"
+	"gpm/internal/par"
 )
 
 var drivers = map[string]func(exp.Config) exp.Table{
@@ -40,8 +41,10 @@ func main() {
 		scale    = flag.Float64("scale", 0, "dataset scale factor (default: quick scale)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		skipSlow = flag.Bool("skip-slow", false, "skip the intentionally unscalable baselines")
+		workers  = flag.Int("workers", 0, "worker goroutines for parallel hot paths (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	par.SetDefaultWorkers(*workers)
 
 	cfg := exp.Default()
 	cfg.Seed = *seed

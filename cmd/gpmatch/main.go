@@ -21,6 +21,7 @@ import (
 
 	"gpm"
 	"gpm/internal/graph"
+	"gpm/internal/par"
 	"gpm/internal/pattern"
 )
 
@@ -35,8 +36,10 @@ func main() {
 		upsFile = flag.String("updates", "", "optional update stream to replay incrementally")
 		limit   = flag.Int("limit", 0, "iso: stop after this many embeddings (0 = all)")
 		quiet   = flag.Bool("quiet", false, "print only counts and timings")
+		workers = flag.Int("workers", 0, "worker goroutines for parallel hot paths (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	par.SetDefaultWorkers(*workers)
 	if *gfile == "" || *pfile == "" {
 		log.Fatal("-graph and -pattern are required")
 	}

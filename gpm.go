@@ -47,11 +47,19 @@ import (
 	"gpm/internal/incsim"
 	"gpm/internal/iso"
 	"gpm/internal/landmark"
+	"gpm/internal/par"
 	"gpm/internal/pattern"
 	"gpm/internal/rel"
 	"gpm/internal/resultgraph"
 	"gpm/internal/simulation"
 )
+
+// SetWorkers bounds the parallelism of the library's parallel hot paths —
+// the distance-matrix and landmark-index builds, Match's candidate-set
+// scans and the incremental engines' deletion-repair sweeps. Passing 0
+// restores the default (GOMAXPROCS); 1 makes every hot path serial. The
+// setting is process-wide.
+func SetWorkers(n int) { par.SetDefaultWorkers(n) }
 
 // Core data types, re-exported for downstream use.
 type (

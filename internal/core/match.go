@@ -16,6 +16,7 @@ package core
 import (
 	"gpm/internal/distance"
 	"gpm/internal/graph"
+	"gpm/internal/par"
 	"gpm/internal/pattern"
 	"gpm/internal/rel"
 )
@@ -25,6 +26,10 @@ type Options struct {
 	// Oracle answers distance queries. When nil, Match builds a BFS oracle
 	// over g (no preprocessing, no extra memory).
 	Oracle distance.Oracle
+	// Workers bounds the parallelism of the candidate-set construction
+	// (the predicate scan over all data nodes): 0 selects the default
+	// (par.DefaultWorkers), 1 runs serially.
+	Workers int
 }
 
 // Option mutates Options.
@@ -33,6 +38,11 @@ type Option func(*Options)
 // WithOracle selects the distance oracle used by Match.
 func WithOracle(o distance.Oracle) Option {
 	return func(opts *Options) { opts.Oracle = o }
+}
+
+// WithWorkers bounds the parallelism of the candidate-set construction.
+func WithWorkers(n int) Option {
+	return func(opts *Options) { opts.Workers = n }
 }
 
 // Match computes the maximum bounded-simulation match Mksim(P, G). The
@@ -45,26 +55,60 @@ func Match(p *pattern.Pattern, g *graph.Graph, options ...Option) rel.Relation {
 	if opts.Oracle == nil {
 		opts.Oracle = distance.NewBFS(g)
 	}
-	return match(p, g, opts.Oracle)
+	return match(p, g, opts.Oracle, opts.Workers)
 }
 
-func match(p *pattern.Pattern, g *graph.Graph, oracle distance.Oracle) rel.Relation {
-	np, n := p.NumNodes(), g.NumNodes()
-	mat := rel.NewRelation(np)
-
-	// Lines 5-6 of Fig. 3: mat(u) = predicate-satisfying nodes, with the
-	// out-degree guard.
-	for u := 0; u < np; u++ {
-		pred := p.Pred(u)
-		needChild := p.OutDegree(u) > 0
+// candidates computes mat(u) — the predicate-satisfying nodes with the
+// out-degree guard (lines 5-6 of Fig. 3) — scanning the data nodes in
+// parallel. Workers collect hits into private slices that are merged
+// serially, so the scan itself is contention-free.
+func candidates(p *pattern.Pattern, g *graph.Graph, u, workers int) rel.Set {
+	n := g.NumNodes()
+	pred := p.Pred(u)
+	needChild := p.OutDegree(u) > 0
+	w := par.Resolve(workers, n)
+	if w == 1 {
+		set := rel.NewSet()
 		for v := 0; v < n; v++ {
 			if needChild && g.OutDegree(v) == 0 {
 				continue
 			}
 			if pred.Eval(g.Attrs(v)) {
-				mat[u].Add(v)
+				set.Add(v)
 			}
 		}
+		return set
+	}
+	parts := make([][]graph.NodeID, w)
+	par.For(n, w, func(worker, v int) {
+		if needChild && g.OutDegree(v) == 0 {
+			return
+		}
+		if pred.Eval(g.Attrs(v)) {
+			parts[worker] = append(parts[worker], v)
+		}
+	})
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	set := make(rel.Set, total)
+	for _, part := range parts {
+		for _, v := range part {
+			set.Add(v)
+		}
+	}
+	return set
+}
+
+func match(p *pattern.Pattern, g *graph.Graph, oracle distance.Oracle, workers int) rel.Relation {
+	np := p.NumNodes()
+	mat := rel.NewRelation(np)
+
+	// Lines 5-6 of Fig. 3: mat(u) = predicate-satisfying nodes, with the
+	// out-degree guard.
+	for u := 0; u < np; u++ {
+		mat[u] = candidates(p, g, u, workers)
 		if mat[u].Len() == 0 {
 			return rel.NewRelation(np) // line 12: some pattern node unmatched
 		}

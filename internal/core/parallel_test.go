@@ -1,0 +1,24 @@
+package core
+
+import (
+	"testing"
+
+	"gpm/internal/generator"
+)
+
+// TestMatchWorkersEquivalence checks that Match with a parallel
+// candidate-set construction returns exactly the serial relation.
+func TestMatchWorkersEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := generator.Synthetic(300, 1200, generator.DefaultSchema(3), seed)
+		p := generator.EmbeddedPattern(g, generator.PatternParams{Nodes: 4, Edges: 5, Preds: 1, K: 3}, seed)
+		serial := Match(p, g, WithWorkers(1))
+		for _, workers := range []int{2, 4, 0} {
+			got := Match(p, g, WithWorkers(workers))
+			if !got.Equal(serial) {
+				t.Fatalf("seed %d workers %d: parallel match differs from serial\nparallel: %v\nserial:   %v",
+					seed, workers, got, serial)
+			}
+		}
+	}
+}

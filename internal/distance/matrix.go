@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"gpm/internal/graph"
+	"gpm/internal/par"
 )
 
 // Matrix is the all-pairs distance matrix of Section 3 (line 1 of algorithm
@@ -17,12 +18,26 @@ type Matrix struct {
 
 const unreachable32 = int32(math.MaxInt32)
 
-// NewMatrix builds the distance matrix of g.
+// NewMatrix builds the distance matrix of g with the default degree of
+// parallelism (par.DefaultWorkers). The per-source BFS runs are
+// independent, so the build scales near-linearly with workers.
 func NewMatrix(g *graph.Graph) *Matrix {
+	return NewMatrixWorkers(g, 0)
+}
+
+// NewMatrixWorkers builds the distance matrix of g using the given number
+// of workers: 0 selects the default, 1 runs serially.
+func NewMatrixWorkers(g *graph.Graph, workers int) *Matrix {
 	n := g.NumNodes()
 	m := &Matrix{n: n, dist: make([]int32, n*n)}
-	row := make([]int, n)
-	for u := 0; u < n; u++ {
+	w := par.Resolve(workers, n)
+	rows := make([][]int, w) // one BFS scratch row per worker, lazily built
+	par.For(n, w, func(worker, u int) {
+		row := rows[worker]
+		if row == nil {
+			row = make([]int, n)
+			rows[worker] = row
+		}
 		g.BFSFrom(u, graph.Forward, row)
 		base := u * n
 		for v, d := range row {
@@ -32,7 +47,7 @@ func NewMatrix(g *graph.Graph) *Matrix {
 				m.dist[base+v] = int32(d)
 			}
 		}
-	}
+	})
 	return m
 }
 

@@ -1,0 +1,50 @@
+package distance
+
+import (
+	"testing"
+
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+)
+
+// TestNewMatrixWorkersEquivalence checks that the parallel matrix build
+// returns exactly the serial oracle on generator graphs of assorted shapes.
+func TestNewMatrixWorkersEquivalence(t *testing.T) {
+	graphs := []*graph.Graph{
+		generator.Synthetic(200, 800, generator.DefaultSchema(4), 1),
+		generator.Synthetic(357, 1200, generator.DefaultSchema(3), 7),
+		generator.YouTube(0.01, 3),
+		graph.New(), // empty graph
+	}
+	for gi, g := range graphs {
+		serial := NewMatrixWorkers(g, 1)
+		for _, workers := range []int{2, 4, 8} {
+			parallel := NewMatrixWorkers(g, workers)
+			if parallel.NumNodes() != serial.NumNodes() {
+				t.Fatalf("graph %d workers %d: NumNodes %d != %d", gi, workers, parallel.NumNodes(), serial.NumNodes())
+			}
+			for u := 0; u < g.NumNodes(); u++ {
+				for v := 0; v < g.NumNodes(); v++ {
+					if ps, ss := parallel.Dist(u, v), serial.Dist(u, v); ps != ss {
+						t.Fatalf("graph %d workers %d: Dist(%d,%d) = %d, serial %d", gi, workers, u, v, ps, ss)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNewMatrixDefaultIsParallelEquivalent checks the exported NewMatrix
+// (default workers) against the serial build.
+func TestNewMatrixDefaultIsParallelEquivalent(t *testing.T) {
+	g := generator.Citation(0.02, 11)
+	serial := NewMatrixWorkers(g, 1)
+	def := NewMatrix(g)
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			if ds, ss := def.Dist(u, v), serial.Dist(u, v); ds != ss {
+				t.Fatalf("Dist(%d,%d) = %d, serial %d", u, v, ds, ss)
+			}
+		}
+	}
+}

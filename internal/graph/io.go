@@ -18,6 +18,21 @@ import (
 // Node ids must be declared densely starting at 0 (any order); attribute
 // values follow ParseValue rules.
 
+// maxLineBytes is the longest input line any text reader in this
+// repository accepts — large enough for nodes with very long attribute
+// values, shared so graph, update and pattern files all obey one limit.
+const maxLineBytes = 16 * 1024 * 1024
+
+// NewLineScanner returns a line scanner with the shared token limit used
+// by every text reader (graph, update and pattern files). Callers outside
+// this package (e.g. the pattern parser) use it so no reader is stuck at
+// bufio.Scanner's 64 KB default.
+func NewLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	return sc
+}
+
 // Write serializes g in the text format.
 func (g *Graph) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -45,8 +60,7 @@ func (g *Graph) Write(w io.Writer) error {
 
 // Read parses a graph in the text format.
 func Read(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc := NewLineScanner(r)
 	type nodeDecl struct {
 		id    int
 		attrs Tuple

@@ -30,7 +30,7 @@ func WriteUpdates(w io.Writer, ups []Update) error {
 
 // ReadUpdates parses a batch of updates.
 func ReadUpdates(r io.Reader) ([]Update, error) {
-	sc := bufio.NewScanner(r)
+	sc := NewLineScanner(r)
 	var ups []Update
 	lineNo := 0
 	for sc.Scan() {
@@ -56,6 +56,9 @@ func ReadUpdates(r io.Reader) ([]Update, error) {
 		to, err2 := strconv.Atoi(fields[2])
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("graph: updates line %d: bad endpoints", lineNo)
+		}
+		if from < 0 || to < 0 {
+			return nil, fmt.Errorf("graph: updates line %d: node id %d out of range [0,∞)", lineNo, min(from, to))
 		}
 		ups = append(ups, Update{Op: op, From: from, To: to})
 	}

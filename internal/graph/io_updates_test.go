@@ -49,3 +49,37 @@ func TestReadUpdatesRejectsMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestReadUpdatesRejectsNegativeIDs(t *testing.T) {
+	for _, src := range []string{
+		"insert -1 2",
+		"insert 1 -2",
+		"delete -3 -4",
+		"insert 0 1\ndelete -1 0",
+	} {
+		_, err := ReadUpdates(strings.NewReader(src))
+		if err == nil {
+			t.Errorf("ReadUpdates(%q): want error for negative node id", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line") {
+			t.Errorf("ReadUpdates(%q): error %q does not name the line", src, err)
+		}
+	}
+}
+
+// TestReadUpdatesLongLines checks that update files share the 16 MB line
+// limit of graph files instead of bufio.Scanner's 64 KB default.
+func TestReadUpdatesLongLines(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# ")
+	sb.WriteString(strings.Repeat("x", 1<<20)) // a 1 MB comment line
+	sb.WriteString("\ninsert 5 6\n")
+	got, err := ReadUpdates(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != Insert(5, 6) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -20,6 +20,7 @@ package incbsim
 
 import (
 	"fmt"
+	"sync"
 
 	"gpm/internal/distance"
 	"gpm/internal/graph"
@@ -46,7 +47,13 @@ func (s Stats) Total() int64 {
 // Engine maintains the maximum bounded-simulation match of a b-pattern
 // over a mutable data graph. The engine owns the graph: all edge updates
 // must go through Insert/Delete/Batch.
+//
+// The engine is safe for concurrent use: writers (Insert/Delete/Batch/
+// Apply) are serialized by an internal mutex, and readers (Result,
+// ResultGraph, IsMatch, IsCandidate, Stats) may run concurrently with
+// each other and block only while a writer is applying an update.
 type Engine struct {
+	mu       sync.RWMutex
 	p        *pattern.Pattern
 	g        *graph.Graph
 	edges    []pattern.Edge
@@ -63,6 +70,9 @@ type Engine struct {
 	bfs   *distance.BFS   // live bounded-BFS view of g (enumeration + fallback Dist)
 	lmIdx *landmark.Index // optional maintained landmark index for Dist
 
+	workers int             // parallelism of the deletion-repair sweep (0 = default)
+	parBFS  []*distance.BFS // per-worker BFS oracles for parallel sweeps
+
 	stats Stats
 }
 
@@ -75,6 +85,23 @@ type Option func(*Engine)
 // graph passed to New.
 func WithLandmarkIndex(ix *landmark.Index) Option {
 	return func(e *Engine) { e.lmIdx = ix }
+}
+
+// WithWorkers bounds the parallelism of the per-source BFS sweeps in the
+// deletion repair: 0 selects the default (par.DefaultWorkers), 1 keeps the
+// repair serial.
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// workerOracles returns w BFS oracles over the engine's graph, one per
+// worker, allocated lazily and reused across sweeps. Distinct from e.bfs so
+// parallel sweeps never share scratch with the serial paths.
+func (e *Engine) workerOracles(w int) []*distance.BFS {
+	for len(e.parBFS) < w {
+		e.parBFS = append(e.parBFS, distance.NewBFS(e.g))
+	}
+	return e.parBFS[:w]
 }
 
 // New builds an engine for b-pattern p over graph g, computing the initial
@@ -198,28 +225,55 @@ func (e *Engine) cascade(queue []pair) {
 // Pattern returns the engine's pattern.
 func (e *Engine) Pattern() *pattern.Pattern { return e.p }
 
-// Graph returns the engine's data graph (do not mutate directly).
+// Graph returns the engine's data graph (do not mutate directly; the
+// returned pointer is live, so traversing it while a writer runs is racy —
+// use the engine's methods instead).
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
 // Stats returns cumulative affected-area statistics.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stats
+}
 
 // ResetStats clears the statistics.
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+}
 
 // MatchSets exposes the per-node greatest bounded simulation (read-only).
+// The returned sets are live: do not use them while writers may run.
 func (e *Engine) MatchSets() rel.Relation { return e.match }
 
 // IsMatch reports whether (u, v) is in the match structure.
-func (e *Engine) IsMatch(u int, v graph.NodeID) bool { return e.match[u].Has(v) }
+func (e *Engine) IsMatch(u int, v graph.NodeID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.match[u].Has(v)
+}
 
 // IsCandidate reports whether v ∈ candt(u).
 func (e *Engine) IsCandidate(u int, v graph.NodeID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.isCandidate(u, v)
+}
+
+func (e *Engine) isCandidate(u int, v graph.NodeID) bool {
 	return e.sat[u].Has(v) && !e.match[u].Has(v)
 }
 
 // Result returns Mksim(P, G) under the totality convention.
 func (e *Engine) Result() rel.Relation {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.result()
+}
+
+func (e *Engine) result() rel.Relation {
 	for _, s := range e.match {
 		if s.Len() == 0 {
 			return rel.NewRelation(len(e.match))
@@ -228,9 +282,12 @@ func (e *Engine) Result() rel.Relation {
 	return e.match.Clone()
 }
 
-// ResultGraph builds the result graph Gr of the current match.
+// ResultGraph builds the result graph Gr of the current match. It uses a
+// private BFS oracle so concurrent readers never share scratch space.
 func (e *Engine) ResultGraph() *resultgraph.Graph {
-	return resultgraph.FromBounded(e.p, e.g, e.Result(), e.bfs)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return resultgraph.FromBounded(e.p, e.g, e.result(), distance.NewBFS(e.g))
 }
 
 // checkInvariants recounts every support counter (test hook).

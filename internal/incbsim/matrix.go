@@ -84,6 +84,8 @@ func nonemptyAt(dist []int32, n int, g *graph.Graph, u, v graph.NodeID) int32 {
 // shared cascade/promotion machinery.
 func (m *MatrixEngine) Batch(ups []graph.Update) {
 	e := m.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	net := netUpdates(e.g, ups)
 	if len(net) == 0 {
 		return
@@ -182,7 +184,7 @@ func (m *MatrixEngine) Batch(ups []graph.Update) {
 			bound = int32(pe.Bound)
 		}
 		for v := range e.sat[pe.From] {
-			if !e.IsCandidate(pe.From, v) {
+			if !e.isCandidate(pe.From, v) {
 				continue
 			}
 			for w := range e.sat[pe.To] {

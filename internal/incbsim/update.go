@@ -10,7 +10,11 @@ package incbsim
 // for deletions a post-update BFS runs only for sources that actually had
 // a tight pair through the deleted edge.
 
-import "gpm/internal/graph"
+import (
+	"gpm/internal/distance"
+	"gpm/internal/graph"
+	"gpm/internal/par"
+)
 
 // neighborhood captures one side of the affected area: node → nonempty-path
 // distance, with the anchor itself at distance 0.
@@ -46,9 +50,15 @@ func (e *Engine) descendantsOf(b graph.NodeID, bound int) neighborhood {
 
 // descMap captures the nonempty-path distances from v within bound.
 func (e *Engine) descMap(v graph.NodeID, bound int) map[graph.NodeID]int {
+	return descMapWith(e.bfs, v, bound)
+}
+
+// descMapWith is descMap over an explicit oracle, so parallel workers can
+// use private scratch space.
+func descMapWith(b *distance.BFS, v graph.NodeID, bound int) map[graph.NodeID]int {
 	m := make(map[graph.NodeID]int)
 	if bound >= 1 {
-		e.bfs.DescNonempty(v, bound, func(w graph.NodeID, d int) bool {
+		b.DescNonempty(v, bound, func(w graph.NodeID, d int) bool {
 			m[w] = d
 			return true
 		})
@@ -181,9 +191,25 @@ func (e *Engine) insertSweep(a, b graph.NodeID, seeds map[pair]bool) bool {
 	return e.applyEdge(graph.Insert(a, b))
 }
 
+// candFlip is one (pattern edge, target node) pair whose within-bound
+// status may flip for a given source during a deletion sweep.
+type candFlip struct {
+	ei int
+	w  graph.NodeID
+}
+
+// srcFlips pairs a surviving source with its tight candidate flips.
+type srcFlips struct {
+	v     graph.NodeID
+	flips []candFlip
+}
+
 // deleteSweep processes one edge deletion (a, b): pairs can only leave the
 // bound, and only pairs whose old shortest path was tight through (a, b)
 // qualify — everything else is pruned before any post-update BFS runs.
+// Both per-source BFS phases (the old-graph tightness probe and the
+// post-deletion re-measure) are embarrassingly parallel over sources and
+// run on the engine's worker pool; counter mutations stay serial.
 func (e *Engine) deleteSweep(a, b graph.NodeID, touched map[int]map[graph.NodeID]bool) bool {
 	if !e.g.HasEdge(a, b) {
 		return false
@@ -203,13 +229,12 @@ func (e *Engine) deleteSweep(a, b graph.NodeID, touched map[int]map[graph.NodeID
 			}
 		}
 	}
-	type candFlip struct {
-		ei int
-		w  graph.NodeID
-	}
-	cands := make(map[graph.NodeID][]candFlip)
-	for v, dva := range anc {
-		var oldD map[graph.NodeID]int
+
+	// collectTight gathers, for one source v at distance dva above a, the
+	// match pairs whose old distance was realized through (a, b). It only
+	// reads engine state that is stable during the sweep, so it is safe to
+	// run from parallel workers given a private BFS oracle.
+	collectTight := func(bfs *distance.BFS, v graph.NodeID, dva int) (flips []candFlip, examined int64) {
 		maxK := 0
 		for ei, pe := range e.edges {
 			if e.match[pe.From].Has(v) && len(descMatch[ei]) > 0 && pe.Bound > maxK {
@@ -217,8 +242,9 @@ func (e *Engine) deleteSweep(a, b graph.NodeID, touched map[int]map[graph.NodeID
 			}
 		}
 		if maxK == 0 || dva+1 > maxK {
-			continue
+			return nil, 0
 		}
+		var oldD map[graph.NodeID]int
 		for ei, pe := range e.edges {
 			if !e.match[pe.From].Has(v) {
 				continue
@@ -232,38 +258,107 @@ func (e *Engine) deleteSweep(a, b graph.NodeID, touched map[int]map[graph.NodeID
 					continue
 				}
 				if oldD == nil {
-					oldD = e.descMap(v, maxK)
-					e.stats.PairsExamined += int64(len(oldD))
+					oldD = descMapWith(bfs, v, maxK)
+					examined += int64(len(oldD))
 				}
 				// The pair can change only if its old distance was realized
 				// through (a, b).
 				if od, ok := oldD[t.w]; ok && od == dva+1+t.d && od <= pe.Bound {
-					cands[v] = append(cands[v], candFlip{ei, t.w})
+					flips = append(flips, candFlip{ei, t.w})
 				}
 			}
 		}
+		return flips, examined
 	}
+
+	var tight []srcFlips
+	w := par.Resolve(e.workers, len(anc))
+	if w == 1 {
+		for v, dva := range anc {
+			flips, ex := collectTight(e.bfs, v, dva)
+			e.stats.PairsExamined += ex
+			if len(flips) > 0 {
+				tight = append(tight, srcFlips{v, flips})
+			}
+		}
+	} else {
+		type srcEntry struct {
+			v   graph.NodeID
+			dva int
+		}
+		srcs := make([]srcEntry, 0, len(anc))
+		for v, dva := range anc {
+			srcs = append(srcs, srcEntry{v, dva})
+		}
+		results := make([][]candFlip, len(srcs))
+		examined := make([]int64, w)
+		oracles := e.workerOracles(w)
+		par.For(len(srcs), w, func(worker, i int) {
+			flips, ex := collectTight(oracles[worker], srcs[i].v, srcs[i].dva)
+			results[i] = flips
+			examined[worker] += ex
+		})
+		for _, ex := range examined {
+			e.stats.PairsExamined += ex
+		}
+		for i, flips := range results {
+			if len(flips) > 0 {
+				tight = append(tight, srcFlips{srcs[i].v, flips})
+			}
+		}
+	}
+
 	if !e.applyEdge(graph.Delete(a, b)) {
 		return false
 	}
-	// Post-deletion: re-measure only the sources that had tight pairs.
-	for v, flips := range cands {
+
+	// Post-deletion: re-measure only the sources that had tight pairs. Each
+	// source needs one fresh bounded BFS on the new graph — the dominant
+	// cost of the repair, also farmed out to the workers.
+	remeasure := func(bfs *distance.BFS, sf srcFlips) (drops []candFlip, examined int64) {
 		maxK := 0
-		for _, f := range flips {
+		for _, f := range sf.flips {
 			if bnd := e.edges[f.ei].Bound; bnd > maxK {
 				maxK = bnd
 			}
 		}
-		newD := e.descMap(v, maxK)
-		e.stats.PairsExamined += int64(len(newD))
-		for _, f := range flips {
+		newD := descMapWith(bfs, sf.v, maxK)
+		examined = int64(len(newD))
+		for _, f := range sf.flips {
 			pe := e.edges[f.ei]
 			if nd, ok := newD[f.w]; ok && nd <= pe.Bound {
 				continue // an alternative path survives
 			}
-			e.cnt[f.ei][v]--
+			drops = append(drops, f)
+		}
+		return drops, examined
+	}
+
+	w = par.Resolve(e.workers, len(tight))
+	drops := make([][]candFlip, len(tight))
+	if w == 1 {
+		for i, sf := range tight {
+			d, ex := remeasure(e.bfs, sf)
+			drops[i] = d
+			e.stats.PairsExamined += ex
+		}
+	} else {
+		examined := make([]int64, w)
+		oracles := e.workerOracles(w)
+		par.For(len(tight), w, func(worker, i int) {
+			d, ex := remeasure(oracles[worker], tight[i])
+			drops[i] = d
+			examined[worker] += ex
+		})
+		for _, ex := range examined {
+			e.stats.PairsExamined += ex
+		}
+	}
+	for i, sf := range tight {
+		for _, f := range drops[i] {
+			e.cnt[f.ei][sf.v]--
 			e.stats.CounterUpdates++
-			markTouched(touched, f.ei, v)
+			markTouched(touched, f.ei, sf.v)
 		}
 	}
 	return true
@@ -294,6 +389,12 @@ func (e *Engine) drainTouched(touched map[int]map[graph.NodeID]bool) {
 // Delete removes edge (v0, v1), incrementally repairing the match
 // (IncBMatch⁻). It reports whether the edge existed.
 func (e *Engine) Delete(v0, v1 graph.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.deleteLocked(v0, v1)
+}
+
+func (e *Engine) deleteLocked(v0, v1 graph.NodeID) bool {
 	touched := make(map[int]map[graph.NodeID]bool)
 	if !e.deleteSweep(v0, v1, touched) {
 		return false
@@ -305,6 +406,12 @@ func (e *Engine) Delete(v0, v1 graph.NodeID) bool {
 // Insert adds edge (v0, v1), incrementally repairing the match
 // (IncBMatch⁺). It reports whether the edge was new.
 func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.insertLocked(v0, v1)
+}
+
+func (e *Engine) insertLocked(v0, v1 graph.NodeID) bool {
 	seeds := make(map[pair]bool)
 	if !e.insertSweep(v0, v1, seeds) {
 		return false
@@ -317,6 +424,8 @@ func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
 // then all deletions with a single cascade, then all insertions with a
 // single promotion.
 func (e *Engine) Batch(ups []graph.Update) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	net := netUpdates(e.g, ups)
 	touched := make(map[int]map[graph.NodeID]bool)
 	for _, up := range net {
@@ -336,11 +445,13 @@ func (e *Engine) Batch(ups []graph.Update) {
 
 // Apply is the naive baseline: unit updates one at a time.
 func (e *Engine) Apply(ups []graph.Update) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, up := range ups {
 		if up.Op == graph.InsertEdge {
-			e.Insert(up.From, up.To)
+			e.insertLocked(up.From, up.To)
 		} else {
-			e.Delete(up.From, up.To)
+			e.deleteLocked(up.From, up.To)
 		}
 	}
 }
@@ -380,7 +491,7 @@ func (e *Engine) promote(seeds map[pair]bool) {
 		}
 	}
 	for pr := range seeds {
-		if e.IsCandidate(pr.u, pr.v) {
+		if e.isCandidate(pr.u, pr.v) {
 			push(pr)
 		}
 	}
@@ -391,7 +502,7 @@ func (e *Engine) promote(seeds map[pair]bool) {
 		for _, ei := range e.inEdges[pr.u] {
 			pe := e.edges[ei]
 			e.bfs.AncNonempty(pr.v, pe.Bound, func(w graph.NodeID, d int) bool {
-				if e.IsCandidate(pe.From, w) {
+				if e.isCandidate(pe.From, w) {
 					push(pair{pe.From, w})
 				}
 				return true

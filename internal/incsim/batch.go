@@ -22,6 +22,8 @@ type BatchResult struct {
 // Batch applies a mixed list of edge insertions and deletions, repairing
 // the match incrementally while processing the updates together.
 func (e *Engine) Batch(ups []graph.Update) BatchResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	res := BatchResult{Original: len(ups)}
 	before := int(e.stats.Removals)
 	beforeAdd := int(e.stats.Promotions)
@@ -92,7 +94,7 @@ func (e *Engine) Batch(ups []graph.Update) BatchResult {
 		}
 		for _, pe := range e.edges {
 			pr := pair{pe.From, up.From}
-			if !seen[pr] && e.IsCandidate(pe.From, up.From) && e.sat[pe.To].Has(up.To) {
+			if !seen[pr] && e.isCandidate(pe.From, up.From) && e.sat[pe.To].Has(up.To) {
 				seen[pr] = true
 				seeds = append(seeds, pr)
 			}
@@ -110,11 +112,13 @@ func (e *Engine) Batch(ups []graph.Update) BatchResult {
 // Apply is the naive IncMatchn baseline: it processes the batch one unit
 // update at a time through IncMatch⁺/IncMatch⁻, with no minDelta reduction.
 func (e *Engine) Apply(ups []graph.Update) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, up := range ups {
 		if up.Op == graph.InsertEdge {
-			e.Insert(up.From, up.To)
+			e.insertLocked(up.From, up.To)
 		} else {
-			e.Delete(up.From, up.To)
+			e.deleteLocked(up.From, up.To)
 		}
 	}
 }
@@ -207,6 +211,8 @@ func rankLE(ru, rv int) bool {
 // cancellation and relevance/rank filtering (Fig. 20(a)). The engine and
 // graph are left untouched.
 func (e *Engine) MinDelta(ups []graph.Update) BatchResult {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	res := BatchResult{Original: len(ups)}
 	net := netUpdates(e.g, ups)
 	res.Effective = len(net)

@@ -12,6 +12,12 @@ import "gpm/internal/graph"
 // Delete removes the edge (v0, v1) from the data graph and incrementally
 // repairs the match. It reports whether the edge existed.
 func (e *Engine) Delete(v0, v1 graph.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.deleteLocked(v0, v1)
+}
+
+func (e *Engine) deleteLocked(v0, v1 graph.NodeID) bool {
 	if !e.g.RemoveEdge(v0, v1) {
 		return false
 	}

@@ -20,6 +20,7 @@ package incsim
 
 import (
 	"fmt"
+	"sync"
 
 	"gpm/internal/graph"
 	"gpm/internal/pattern"
@@ -43,7 +44,13 @@ func (s Stats) Total() int64 {
 // Engine maintains the maximum simulation of a normal pattern over a
 // mutable data graph. The engine owns the graph: all edge updates must go
 // through the engine's methods so the auxiliary structures stay consistent.
+//
+// The engine is safe for concurrent use: writers (Insert/InsertDAG/Delete/
+// Batch/Apply) are serialized by an internal mutex, and readers (Result,
+// ResultGraph, IsMatch, IsCandidate, Stats, MinDelta) may run concurrently
+// with each other and block only while a writer is applying an update.
 type Engine struct {
+	mu       sync.RWMutex
 	p        *pattern.Pattern
 	g        *graph.Graph
 	edges    []pattern.Edge
@@ -167,27 +174,52 @@ func (e *Engine) Pattern() *pattern.Pattern { return e.p }
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
 // Stats returns the cumulative affected-area statistics.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stats
+}
 
 // ResetStats clears the cumulative statistics.
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+}
 
 // MatchSets exposes the internal per-node greatest simulation sets (the
-// match() auxiliary structure). The caller must not mutate them.
+// match() auxiliary structure). The caller must not mutate them; the sets
+// are live, so do not use them while writers may run.
 func (e *Engine) MatchSets() rel.Relation { return e.match }
 
 // IsMatch reports whether (u, v) is in the current match() structure.
-func (e *Engine) IsMatch(u int, v graph.NodeID) bool { return e.match[u].Has(v) }
+func (e *Engine) IsMatch(u int, v graph.NodeID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.match[u].Has(v)
+}
 
 // IsCandidate reports whether v ∈ candt(u): it satisfies fV(u) but does not
 // currently match u.
 func (e *Engine) IsCandidate(u int, v graph.NodeID) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.isCandidate(u, v)
+}
+
+func (e *Engine) isCandidate(u int, v graph.NodeID) bool {
 	return e.sat[u].Has(v) && !e.match[u].Has(v)
 }
 
 // Result returns the maximum simulation Msim(P, G) under the totality
 // convention: empty when some pattern node has no match.
 func (e *Engine) Result() rel.Relation {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.result()
+}
+
+func (e *Engine) result() rel.Relation {
 	for _, s := range e.match {
 		if s.Len() == 0 {
 			return rel.NewRelation(len(e.match))
@@ -198,7 +230,9 @@ func (e *Engine) Result() rel.Relation {
 
 // ResultGraph builds the result graph Gr of the current match.
 func (e *Engine) ResultGraph() *resultgraph.Graph {
-	return resultgraph.FromSimulation(e.p, e.g, e.Result())
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return resultgraph.FromSimulation(e.p, e.g, e.result())
 }
 
 // checkInvariants verifies internal consistency (used by tests): counters

@@ -18,6 +18,12 @@ import (
 // the match (general, possibly cyclic patterns). It reports whether the
 // edge was new.
 func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.insertLocked(v0, v1)
+}
+
+func (e *Engine) insertLocked(v0, v1 graph.NodeID) bool {
 	added, err := e.g.AddEdge(v0, v1)
 	if err != nil || !added {
 		return false
@@ -35,7 +41,7 @@ func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
 	var seeds []pair
 	seen := make(map[int]bool)
 	for _, pe := range e.edges {
-		if !seen[pe.From] && e.IsCandidate(pe.From, v0) && e.sat[pe.To].Has(v1) {
+		if !seen[pe.From] && e.isCandidate(pe.From, v0) && e.sat[pe.To].Has(v1) {
 			seen[pe.From] = true
 			seeds = append(seeds, pair{pe.From, v0})
 		}
@@ -54,6 +60,8 @@ func (e *Engine) InsertDAG(v0, v1 graph.NodeID) (bool, error) {
 	if !e.p.IsDAG() {
 		return false, fmt.Errorf("incsim: InsertDAG requires a DAG pattern")
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	added, err := e.g.AddEdge(v0, v1)
 	if err != nil || !added {
 		return false, err
@@ -71,7 +79,7 @@ func (e *Engine) InsertDAG(v0, v1 graph.NodeID) (bool, error) {
 	seen := make(map[pair]bool)
 	push := func(u int, v graph.NodeID) {
 		pr := pair{u, v}
-		if !seen[pr] && e.IsCandidate(u, v) {
+		if !seen[pr] && e.isCandidate(u, v) {
 			seen[pr] = true
 			work = append(work, pr)
 		}
@@ -86,7 +94,7 @@ func (e *Engine) InsertDAG(v0, v1 graph.NodeID) (bool, error) {
 		work = work[:len(work)-1]
 		delete(seen, pr) // allow re-examination if another child promotes later
 		e.stats.ClosureSize++
-		if !e.IsCandidate(pr.u, pr.v) || !e.supported(pr.u, pr.v) {
+		if !e.isCandidate(pr.u, pr.v) || !e.supported(pr.u, pr.v) {
 			continue
 		}
 		e.addMatch(pr.u, pr.v)
@@ -164,7 +172,7 @@ func (e *Engine) promote(seeds []pair) {
 		}
 	}
 	for _, s := range seeds {
-		if e.IsCandidate(s.u, s.v) {
+		if e.isCandidate(s.u, s.v) {
 			push(s)
 		}
 	}
@@ -175,7 +183,7 @@ func (e *Engine) promote(seeds []pair) {
 		for _, ei := range e.inEdges[pr.u] {
 			src := e.edges[ei].From
 			for _, w := range e.g.In(pr.v) {
-				if e.IsCandidate(src, w) {
+				if e.isCandidate(src, w) {
 					push(pair{src, w})
 				}
 			}

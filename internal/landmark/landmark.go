@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"gpm/internal/graph"
+	"gpm/internal/par"
 )
 
 const unreachable32 = int32(1) << 30
@@ -46,12 +47,53 @@ type Stats struct {
 }
 
 // New builds an index over g: a greedy vertex-cover landmark vector plus
-// one forward and one backward BFS per landmark (the BatchLM computation).
+// one forward and one backward BFS per landmark (the BatchLM computation),
+// with the per-landmark BFS runs distributed over the default number of
+// workers (par.DefaultWorkers).
 func New(g *graph.Graph) *Index {
-	ix := &Index{g: g, isLM: make([]bool, g.NumNodes())}
-	for _, v := range vertexCover(g) {
-		ix.addLandmark(v)
+	return NewWorkers(g, 0)
+}
+
+// NewWorkers builds an index over g using the given number of workers for
+// the per-landmark BFS runs: 0 selects the default, 1 runs serially. The
+// vertex-cover selection stays sequential (it is inherently greedy and
+// cheap next to the BFS phase).
+func NewWorkers(g *graph.Graph, workers int) *Index {
+	n := g.NumNodes()
+	ix := &Index{g: g, isLM: make([]bool, n)}
+	cover := vertexCover(g)
+	k := len(cover)
+	ix.lms = make([]graph.NodeID, k)
+	copy(ix.lms, cover)
+	for _, v := range cover {
+		ix.isLM[v] = true
 	}
+	ix.distTo = make([][]int32, k)
+	ix.distFrom = make([][]int32, k)
+	w := par.Resolve(workers, k)
+	bufs := make([][]int, w) // one BFS scratch buffer per worker
+	par.For(k, w, func(worker, i int) {
+		buf := bufs[worker]
+		if buf == nil {
+			buf = make([]int, n)
+			bufs[worker] = buf
+		}
+		lm := ix.lms[i]
+		to := make([]int32, n)
+		g.BFSFrom(lm, graph.Forward, buf)
+		for j, d := range buf {
+			to[j] = clamp32(d)
+		}
+		from := make([]int32, n)
+		g.BFSFrom(lm, graph.Reverse, buf)
+		for j, d := range buf {
+			from[j] = clamp32(d)
+		}
+		ix.distTo[i] = to
+		ix.distFrom[i] = from
+	})
+	ix.stats.LandmarksAdded = int64(k)
+	ix.stats.EntriesUpdated = 2 * int64(n) * int64(k)
 	return ix
 }
 

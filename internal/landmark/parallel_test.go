@@ -1,0 +1,62 @@
+package landmark
+
+import (
+	"testing"
+
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+)
+
+// TestNewWorkersEquivalence checks that the parallel batch build produces
+// exactly the serial index: same landmark vector, same distance vectors.
+func TestNewWorkersEquivalence(t *testing.T) {
+	graphs := []*graph.Graph{
+		generator.Synthetic(150, 600, generator.DefaultSchema(4), 5),
+		generator.YouTube(0.01, 9),
+		graph.New(), // empty graph
+	}
+	for gi, g := range graphs {
+		serial := NewWorkers(g, 1)
+		for _, workers := range []int{2, 4} {
+			parallel := NewWorkers(g, workers)
+			if len(parallel.lms) != len(serial.lms) {
+				t.Fatalf("graph %d workers %d: %d landmarks, serial %d", gi, workers, len(parallel.lms), len(serial.lms))
+			}
+			for i, lm := range serial.lms {
+				if parallel.lms[i] != lm {
+					t.Fatalf("graph %d workers %d: landmark %d = %d, serial %d", gi, workers, i, parallel.lms[i], lm)
+				}
+				for v := 0; v < g.NumNodes(); v++ {
+					if parallel.distTo[i][v] != serial.distTo[i][v] {
+						t.Fatalf("graph %d workers %d: distTo[%d][%d] = %d, serial %d",
+							gi, workers, i, v, parallel.distTo[i][v], serial.distTo[i][v])
+					}
+					if parallel.distFrom[i][v] != serial.distFrom[i][v] {
+						t.Fatalf("graph %d workers %d: distFrom[%d][%d] = %d, serial %d",
+							gi, workers, i, v, parallel.distFrom[i][v], serial.distFrom[i][v])
+					}
+				}
+			}
+			if err := parallel.verify(); err != nil {
+				t.Fatalf("graph %d workers %d: %v", gi, workers, err)
+			}
+		}
+	}
+}
+
+// TestNewWorkersThenMaintain checks that an index built in parallel
+// maintains correctly through the incremental unit algorithms.
+func TestNewWorkersThenMaintain(t *testing.T) {
+	g := generator.Synthetic(120, 480, generator.DefaultSchema(3), 13)
+	ix := NewWorkers(g, 4)
+	for _, up := range generator.Updates(g, 30, 30, 17) {
+		if up.Op == graph.InsertEdge {
+			ix.Insert(up.From, up.To)
+		} else {
+			ix.Delete(up.From, up.To)
+		}
+		if err := ix.verify(); err != nil {
+			t.Fatalf("after %v: %v", up, err)
+		}
+	}
+}

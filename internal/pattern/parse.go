@@ -52,8 +52,7 @@ func (p *Pattern) Write(w io.Writer) error {
 
 // Parse reads a pattern in the text format.
 func Parse(r io.Reader) (*Pattern, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc := graph.NewLineScanner(r)
 	type nodeDecl struct {
 		id   int
 		pred Predicate

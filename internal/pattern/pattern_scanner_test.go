@@ -1,0 +1,22 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseLongLines checks that pattern files share the 16 MB line limit
+// of graph files (the old pattern parser stopped at 1 MB).
+func TestParseLongLines(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# ")
+	sb.WriteString(strings.Repeat("y", 2<<20)) // a 2 MB comment line
+	sb.WriteString("\nnode 0 label=\"A\"\nnode 1 label=\"B\"\nedge 0 1 2\n")
+	p, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 2 || p.NumEdges() != 1 {
+		t.Fatalf("parsed %d nodes, %d edges", p.NumNodes(), p.NumEdges())
+	}
+}
