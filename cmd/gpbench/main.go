@@ -2,21 +2,26 @@
 // (Section 8). Each figure has a driver; -fig selects one, -all runs the
 // whole suite. -scale trades fidelity for speed: 1.0 reproduces the
 // paper's dataset sizes, the default keeps every run laptop-quick.
+// -json switches the output to one machine-readable JSON object per run,
+// so the bench trajectory can be tracked across revisions.
 //
 // Usage:
 //
 //	gpbench -all
 //	gpbench -fig 18a -scale 0.1
 //	gpbench -fig 20b -seed 7
+//	gpbench -all -json | jq .elapsed_ms
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"gpm/internal/exp"
 	"gpm/internal/par"
@@ -32,6 +37,19 @@ var drivers = map[string]func(exp.Config) exp.Table{
 	"table1": exp.Table1Witnesses,
 }
 
+// jsonRun is the machine-readable form of one figure run (-json): the
+// table verbatim plus the run's identity and wall-clock cost.
+type jsonRun struct {
+	Figure    string     `json:"figure"`
+	Title     string     `json:"title"`
+	Scale     float64    `json:"scale"`
+	Seed      int64      `json:"seed"`
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gpbench: ")
@@ -42,6 +60,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		skipSlow = flag.Bool("skip-slow", false, "skip the intentionally unscalable baselines")
 		workers  = flag.Int("workers", 0, "worker goroutines for parallel hot paths (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON object per run instead of text tables")
 	)
 	flag.Parse()
 	par.SetDefaultWorkers(*workers)
@@ -53,29 +72,50 @@ func main() {
 	}
 	cfg.SkipSlowBaselines = *skipSlow
 
+	var names []string
 	switch {
 	case *all:
-		exp.All(cfg, os.Stdout)
+		names = allNames()
 	case *fig != "":
 		for _, name := range strings.Split(*fig, ",") {
 			name = strings.TrimSpace(name)
-			fn, ok := drivers[name]
-			if !ok {
+			if _, ok := drivers[name]; !ok {
 				log.Fatalf("unknown figure %q; available: %s", name, available())
 			}
-			t := fn(cfg)
-			t.Fprint(os.Stdout)
+			names = append(names, name)
 		}
 	default:
 		fmt.Printf("available figures: %s\nrun with -fig <name> or -all\n", available())
+		return
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, name := range names {
+		start := time.Now()
+		t := drivers[name](cfg)
+		elapsed := time.Since(start)
+		if *jsonOut {
+			run := jsonRun{
+				Figure: name, Title: t.Title, Scale: cfg.Scale, Seed: cfg.Seed,
+				Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
+				ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+			}
+			if err := enc.Encode(run); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		t.Fprint(os.Stdout)
 	}
 }
 
-func available() string {
+func allNames() []string {
 	names := make([]string, 0, len(drivers))
 	for n := range drivers {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	return strings.Join(names, " ")
+	return names
 }
+
+func available() string { return strings.Join(allNames(), " ") }

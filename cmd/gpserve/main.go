@@ -1,0 +1,65 @@
+// Command gpserve serves continuous graph-pattern queries over HTTP: load
+// a data graph, register standing patterns, POST edge-update batches, and
+// stream per-pattern match deltas to any number of subscribers via
+// Server-Sent Events. See internal/serve for the endpoint table.
+//
+// Usage:
+//
+//	gpserve -addr :8080
+//	gpserve -addr :8080 -graph g.graph
+//
+// A session with curl:
+//
+//	curl -X POST --data-binary @g.graph localhost:8080/graph
+//	curl -X PUT --data-binary @p.pattern 'localhost:8080/patterns/watch?kind=auto'
+//	curl -N localhost:8080/patterns/watch/stream &
+//	curl -X POST --data-binary $'insert 3 7\ndelete 7 3\n' localhost:8080/updates
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"gpm/internal/contq"
+	"gpm/internal/graph"
+	"gpm/internal/par"
+	"gpm/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpserve: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		gfile   = flag.String("graph", "", "optional graph file to load at startup")
+		workers = flag.Int("workers", 0, "fan-out worker goroutines per commit (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	srv := serve.New(contq.WithWorkers(*workers))
+	par.SetDefaultWorkers(*workers)
+	if *gfile != "" {
+		f, err := os.Open(*gfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := graph.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *gfile, err)
+		}
+		srv.LoadGraph(g)
+		log.Printf("loaded %s: %d nodes, %d edges", *gfile, g.NumNodes(), g.NumEdges())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -1,0 +1,143 @@
+// Subscribe: the continuous-query subsystem end to end, over real HTTP.
+// The program starts a gpserve instance in-process on a loopback port,
+// loads a small social graph, registers a standing pattern, opens a
+// Server-Sent-Events subscription, and then streams edge updates at the
+// server — printing each pushed match delta ΔM and checking that the
+// snapshot plus the accumulated deltas always equals the live result.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"gpm"
+	"gpm/internal/serve"
+)
+
+func main() {
+	// A review graph: bosses, account managers and their contacts, the
+	// shape of the paper's Example 1.1.
+	g := gpm.NewGraph()
+	add := func(label string) gpm.NodeID {
+		return g.AddNode(gpm.NewTuple("label", `"`+label+`"`))
+	}
+	boss := add("B")
+	am1, am2 := add("AM"), add("AM")
+	c1, c2 := add("C"), add("C")
+	g.AddEdge(boss, am1)
+	g.AddEdge(am1, c1)
+
+	// Pattern: a boss with an account manager who has a contact.
+	p := gpm.NewPattern()
+	pb := p.AddNode(gpm.Label("B"))
+	pa := p.AddNode(gpm.Label("AM"))
+	pc := p.AddNode(gpm.Label("C"))
+	must(p.AddEdge(pb, pa, 1))
+	must(p.AddEdge(pa, pc, 1))
+
+	// Start gpserve on a loopback port.
+	srv := serve.New()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	go httpSrv.Serve(ln) //nolint:errcheck // shut down with the process
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("gpserve listening on %s\n", base)
+
+	// Load the graph and register the standing pattern, exactly as curl
+	// would.
+	var gbuf, pbuf bytes.Buffer
+	must(g.Write(&gbuf))
+	must(p.Write(&pbuf))
+	post("POST", base+"/graph", gbuf.String())
+	post("PUT", base+"/patterns/ring?kind=auto", pbuf.String())
+
+	// Open the SSE stream and read the snapshot frame.
+	resp, err := http.Get(base + "/patterns/ring/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	event, data := readFrame(sc)
+	fmt.Printf("%-8s seq=%v pairs=%v\n", event, data["seq"], data["size"])
+
+	// Stream updates: wire a second account-manager chain in, then break
+	// the first one. Each commit pushes one delta frame.
+	batches := []string{
+		fmt.Sprintf("insert %d %d\ninsert %d %d\n", boss, am2, am2, c2), // (boss→am2→c2) joins
+		fmt.Sprintf("delete %d %d\n", am1, c1),                          // am1 loses its contact
+		fmt.Sprintf("delete %d %d\n", am2, c2),                          // no chain left: match collapses
+		fmt.Sprintf("insert %d %d\n", am1, c2),                          // am1 re-wired: match returns
+	}
+	for _, b := range batches {
+		post("POST", base+"/updates", b)
+		event, data = readFrame(sc)
+		fmt.Printf("%-8s seq=%v added=%v removed=%v\n",
+			event, data["seq"], data["added"], data["removed"])
+	}
+
+	// The live result after all deltas.
+	r, err := http.Get(base + "/patterns/ring/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Body.Close()
+	var res map[string]any
+	must(json.NewDecoder(r.Body).Decode(&res))
+	fmt.Printf("final    seq=%v pairs=%v\n", res["seq"], res["size"])
+}
+
+// post sends a text body and fails loudly on a non-2xx response.
+func post(method, url, body string) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body) //nolint:errcheck // best-effort error text
+		log.Fatalf("%s %s: %s: %s", method, url, resp.Status, msg.String())
+	}
+}
+
+// readFrame reads one SSE frame (event + JSON data).
+func readFrame(sc *bufio.Scanner) (string, map[string]any) {
+	var event string
+	var data map[string]any
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &data); err != nil {
+				log.Fatal(err)
+			}
+		case line == "" && event != "":
+			return event, data
+		}
+	}
+	log.Fatal("SSE stream ended unexpectedly")
+	return "", nil
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -40,6 +40,7 @@
 package gpm
 
 import (
+	"gpm/internal/contq"
 	"gpm/internal/core"
 	"gpm/internal/distance"
 	"gpm/internal/graph"
@@ -79,6 +80,11 @@ type (
 	Predicate = pattern.Predicate
 	// Relation is a match relation S ⊆ Vp × V.
 	Relation = rel.Relation
+	// Pair is a single (pattern node, data node) match.
+	Pair = rel.Pair
+	// Delta is a match change-set ΔM: pairs removed from and added to a
+	// relation by an update.
+	Delta = rel.Delta
 	// ResultGraph is the graph representation Gr of a match.
 	ResultGraph = resultgraph.Graph
 	// IncSimEngine incrementally maintains graph simulation (Section 5).
@@ -93,6 +99,24 @@ type (
 	Embedding = iso.Embedding
 	// DistanceOracle answers hop-distance queries for Match.
 	DistanceOracle = distance.Oracle
+	// Registry is the continuous-query registry: standing patterns over
+	// one shared, continuously-updated graph, with match-delta
+	// subscriptions (see NewRegistry).
+	Registry = contq.Registry
+	// Subscription is one subscriber's match-delta stream.
+	Subscription = contq.Subscription
+	// MatchEvent is one commit's ΔM for one standing pattern.
+	MatchEvent = contq.Event
+	// EngineKind selects the engine backing a registered pattern.
+	EngineKind = contq.Kind
+)
+
+// The engine kinds a standing pattern can be registered under.
+const (
+	KindAuto = contq.KindAuto
+	KindSim  = contq.KindSim
+	KindBSim = contq.KindBSim
+	KindIso  = contq.KindIso
 )
 
 // CmpOp is a predicate comparison operator.
@@ -186,6 +210,14 @@ func NewIncBSimEngine(p *Pattern, g *Graph) (*IncBSimEngine, error) { return inc
 func NewIncBSimEngineWithLandmarks(p *Pattern, g *Graph) (*IncBSimEngine, error) {
 	return incbsim.New(p, g, incbsim.WithLandmarkIndex(landmark.New(g)))
 }
+
+// NewRegistry builds a continuous-query registry over g, taking ownership
+// of it: register standing patterns with Register, commit edge updates
+// with Apply, and receive per-pattern match deltas through Subscribe. One
+// serialized writer fans each batch out to all engines in parallel;
+// readers and subscribers never block behind it. cmd/gpserve exposes the
+// same subsystem over HTTP.
+func NewRegistry(g *Graph) *Registry { return contq.New(g) }
 
 // NewIncIsoEngine builds the incremental subgraph-isomorphism engine
 // (IncIsoMat of Section 7 — unbounded by Theorem 7.1, exponential worst

@@ -1,0 +1,62 @@
+package gpm_test
+
+import (
+	"testing"
+
+	"gpm"
+)
+
+// TestRegistryFacade drives the continuous-query subsystem through the
+// public façade: register a standing pattern, subscribe, commit updates,
+// and check the snapshot-plus-deltas invariant.
+func TestRegistryFacade(t *testing.T) {
+	g := gpm.NewGraph()
+	boss := g.AddNode(gpm.NewTuple("label", `"B"`))
+	am := g.AddNode(gpm.NewTuple("label", `"AM"`))
+	am2 := g.AddNode(gpm.NewTuple("label", `"AM"`))
+	c := g.AddNode(gpm.NewTuple("label", `"C"`))
+	g.AddEdge(boss, am)
+	g.AddEdge(am, c)
+
+	p := gpm.NewPattern()
+	pb := p.AddNode(gpm.Label("B"))
+	pa := p.AddNode(gpm.Label("AM"))
+	pc := p.AddNode(gpm.Label("C"))
+	if err := p.AddEdge(pb, pa, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(pa, pc, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := gpm.NewRegistry(g)
+	defer reg.Close()
+	if err := reg.Register("ring", p, gpm.KindAuto); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := reg.Subscribe("ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := sub.Snapshot.Clone()
+
+	seq, err := reg.Apply([]gpm.Update{gpm.Insert(boss, am2), gpm.Insert(am2, c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("seq = %d", seq)
+	}
+	ev := <-sub.C
+	if ev.Pattern != "ring" || ev.Seq != 1 {
+		t.Fatalf("event = %+v", ev)
+	}
+	ev.Delta.Apply(acc)
+	want, ok := reg.Result("ring")
+	if !ok || !acc.Equal(want) {
+		t.Fatalf("accumulated %v, live %v", acc, want)
+	}
+	if !want.Has(pa, am2) {
+		t.Fatal("am2 should match after gaining a contact")
+	}
+}

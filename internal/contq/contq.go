@@ -1,0 +1,370 @@
+// Package contq implements the continuous-query layer that turns the
+// incremental engines into a serving system: a Registry owns a canonical
+// data graph and any number of standing patterns, each backed by the
+// incremental engine matching its kind (incsim for normal patterns,
+// incbsim for b-patterns, iso for subgraph isomorphism) over a private
+// replica of the graph. A single serialized writer ingests edge-update
+// batches, fans each batch out to all engines in parallel (internal/par),
+// and publishes per-pattern match deltas ΔM — not full results — to
+// channel subscribers in commit order, the production shape of incremental
+// view maintenance (standing queries registered once, update streams
+// fanned out, deltas pushed).
+//
+// Concurrency contract:
+//
+//   - Apply, Register, Unregister, Subscribe and Close serialize on one
+//     writer lock, so every subscriber observes the same totally-ordered
+//     commit sequence and a subscription's starting snapshot is atomic
+//     with respect to commits.
+//   - Readers (Result, Patterns, GraphInfo) never take the writer lock:
+//     they read through the engines' lock-free cached snapshots, so reads
+//     between updates are allocation-free and never block behind a writer.
+//   - Each engine repairs a private clone of the graph, which is what
+//     makes the per-batch fan-out embarrassingly parallel: engines never
+//     share mutable state. The memory price is one graph replica per
+//     registered pattern.
+package contq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gpm/internal/graph"
+	"gpm/internal/par"
+	"gpm/internal/pattern"
+	"gpm/internal/rel"
+)
+
+// Sentinel errors, so callers (e.g. the HTTP layer) can map failure
+// classes to distinct responses.
+var (
+	// ErrClosed reports an operation on a closed registry.
+	ErrClosed = errors.New("contq: registry closed")
+	// ErrAlreadyRegistered reports a duplicate pattern id.
+	ErrAlreadyRegistered = errors.New("contq: pattern already registered")
+	// ErrNotRegistered reports an unknown pattern id.
+	ErrNotRegistered = errors.New("contq: pattern not registered")
+)
+
+// Kind selects the engine backing a registered pattern.
+type Kind string
+
+const (
+	// KindAuto picks KindSim for normal patterns and KindBSim otherwise.
+	KindAuto Kind = "auto"
+	// KindSim backs the pattern with incremental graph simulation
+	// (incsim); the pattern must be normal.
+	KindSim Kind = "sim"
+	// KindBSim backs the pattern with incremental bounded simulation
+	// (incbsim).
+	KindBSim Kind = "bsim"
+	// KindIso backs the pattern with incremental subgraph isomorphism
+	// (iso); the pattern must be normal. The relation view is the union of
+	// the embeddings' (u, v) pairs.
+	KindIso Kind = "iso"
+)
+
+// Event is one commit's outcome for one pattern, delivered to subscribers
+// in commit order. Delta may be empty (the batch did not move this
+// pattern's match); Seq still advances so subscribers can track progress.
+type Event struct {
+	Pattern string
+	Seq     uint64
+	Delta   rel.Delta
+}
+
+// Info describes one registered pattern.
+type Info struct {
+	ID          string
+	Kind        Kind
+	Nodes       int // pattern nodes
+	Edges       int // pattern edges
+	Subscribers int
+	ResultSize  int // current |M|
+}
+
+// registration is one standing pattern: its matcher and its subscribers.
+type registration struct {
+	id   string
+	p    *pattern.Pattern
+	kind Kind
+	m    matcher
+
+	mu   sync.Mutex
+	subs map[*Subscription]struct{}
+}
+
+func (r *registration) publish(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for s := range r.subs {
+		s.push(ev)
+	}
+}
+
+func (r *registration) detach(s *Subscription) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.subs, s)
+}
+
+func (r *registration) numSubs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subs)
+}
+
+// Registry owns the canonical graph and the set of standing patterns.
+// Construct with New; the Registry takes ownership of the graph (apply
+// updates only through Apply).
+type Registry struct {
+	writeMu sync.Mutex   // serializes Apply/Register/Unregister/Subscribe/Close
+	mu      sync.RWMutex // guards pats, g and seq for fast readers
+	g       *graph.Graph
+	pats    map[string]*registration
+	seq     uint64
+	workers int // fan-out parallelism across engines (0 = default)
+	engineW int // worker count handed to each engine's internal sweeps
+	closed  bool
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithWorkers bounds how many engines repair concurrently during one
+// commit's fan-out (0 = par.DefaultWorkers).
+func WithWorkers(n int) Option {
+	return func(r *Registry) { r.workers = n }
+}
+
+// WithEngineWorkers sets the worker count passed to each engine's internal
+// parallel sweeps. The default is 1: with many engines repairing
+// concurrently, per-engine parallelism would oversubscribe the cores, so
+// intra-engine sweeps stay serial unless explicitly raised (useful for a
+// registry serving a single heavy pattern).
+func WithEngineWorkers(n int) Option {
+	return func(r *Registry) { r.engineW = n }
+}
+
+// New builds a registry over g, taking ownership of it.
+func New(g *graph.Graph, options ...Option) *Registry {
+	r := &Registry{g: g, pats: make(map[string]*registration), engineW: 1}
+	for _, o := range options {
+		o(r)
+	}
+	return r
+}
+
+// Register installs a standing pattern under id, choosing the backing
+// engine by kind. The engine computes its initial match over the current
+// graph state; the call is atomic with respect to commits, so the new
+// pattern sees every later batch exactly once.
+func (r *Registry) Register(id string, p *pattern.Pattern, kind Kind) error {
+	if id == "" {
+		return fmt.Errorf("contq: empty pattern id")
+	}
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if _, dup := r.pats[id]; dup {
+		return fmt.Errorf("%w: %q", ErrAlreadyRegistered, id)
+	}
+	if kind == "" || kind == KindAuto {
+		if p.IsNormal() {
+			kind = KindSim
+		} else {
+			kind = KindBSim
+		}
+	}
+	// Each engine owns a private replica of the canonical graph: replicas
+	// are what let one commit repair all engines in parallel.
+	m, err := newMatcher(kind, p, r.g.Clone(), r.engineW)
+	if err != nil {
+		return err
+	}
+	reg := &registration{id: id, p: p, kind: kind, m: m, subs: make(map[*Subscription]struct{})}
+	r.mu.Lock()
+	r.pats[id] = reg
+	r.mu.Unlock()
+	return nil
+}
+
+// Unregister removes a standing pattern and cancels its subscriptions,
+// reporting whether the id was registered.
+func (r *Registry) Unregister(id string) bool {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	r.mu.Lock()
+	reg, ok := r.pats[id]
+	delete(r.pats, id)
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	reg.mu.Lock()
+	subs := make([]*Subscription, 0, len(reg.subs))
+	for s := range reg.subs {
+		subs = append(subs, s)
+	}
+	reg.subs = make(map[*Subscription]struct{})
+	reg.mu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
+	return true
+}
+
+// Apply commits one batch of edge updates: it validates the endpoints,
+// fans the batch out to every engine in parallel, applies it to the
+// canonical graph, and publishes each pattern's ΔM to its subscribers
+// under the new commit sequence number. Batches are serialized — there is
+// exactly one commit order, and every subscriber sees it.
+func (r *Registry) Apply(ups []graph.Update) (uint64, error) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	if r.closed {
+		return 0, ErrClosed
+	}
+	for _, up := range ups {
+		if up.Op != graph.InsertEdge && up.Op != graph.DeleteEdge {
+			return r.seq, fmt.Errorf("contq: update %v has unknown op %d", up, up.Op)
+		}
+		if !r.g.HasNode(up.From) || !r.g.HasNode(up.To) {
+			return r.seq, fmt.Errorf("contq: update %v references a node outside the graph", up)
+		}
+	}
+	regs := r.snapshotRegs()
+	deltas := make([]rel.Delta, len(regs))
+	par.For(len(regs), r.workers, func(_, i int) {
+		deltas[i] = regs[i].m.apply(ups)
+	})
+	r.mu.Lock()
+	if _, err := r.g.ApplyAll(ups); err != nil {
+		// Unreachable after validation; restore nothing (replicas already
+		// advanced) but surface the error loudly.
+		r.mu.Unlock()
+		return r.seq, fmt.Errorf("contq: canonical graph diverged: %w", err)
+	}
+	r.seq++
+	seq := r.seq
+	r.mu.Unlock()
+	for i, reg := range regs {
+		reg.publish(Event{Pattern: reg.id, Seq: seq, Delta: deltas[i]})
+	}
+	return seq, nil
+}
+
+func (r *Registry) snapshotRegs() []*registration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	regs := make([]*registration, 0, len(r.pats))
+	for _, reg := range r.pats {
+		regs = append(regs, reg)
+	}
+	return regs
+}
+
+// Subscribe opens a match-delta subscription for pattern id. The returned
+// subscription carries the pattern's current result snapshot and the
+// commit sequence it reflects, atomically with respect to commits: the
+// first event on C is the first commit after Seq, so Snapshot plus the
+// accumulated deltas always reproduces the live result. The snapshot is
+// shared and must not be mutated (Clone it to accumulate).
+//
+// Delivery never blocks the writer: events queue in an unbounded per-
+// subscriber mailbox and drain in commit order.
+func (r *Registry) Subscribe(id string) (*Subscription, error) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	r.mu.RLock()
+	reg, ok := r.pats[id]
+	seq := r.seq
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, id)
+	}
+	s := newSubscription(id, reg.m.result(), seq, reg)
+	reg.mu.Lock()
+	reg.subs[s] = struct{}{}
+	reg.mu.Unlock()
+	return s, nil
+}
+
+// Result returns pattern id's current match relation (a shared immutable
+// snapshot — do not mutate) without blocking behind writers.
+func (r *Registry) Result(id string) (rel.Relation, bool) {
+	r.mu.RLock()
+	reg, ok := r.pats[id]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return reg.m.result(), true
+}
+
+// Patterns lists the registered patterns.
+func (r *Registry) Patterns() []Info {
+	r.mu.RLock()
+	regs := make([]*registration, 0, len(r.pats))
+	for _, reg := range r.pats {
+		regs = append(regs, reg)
+	}
+	r.mu.RUnlock()
+	infos := make([]Info, 0, len(regs))
+	for _, reg := range regs {
+		infos = append(infos, Info{
+			ID:          reg.id,
+			Kind:        reg.kind,
+			Nodes:       reg.p.NumNodes(),
+			Edges:       reg.p.NumEdges(),
+			Subscribers: reg.numSubs(),
+			ResultSize:  reg.m.result().Size(),
+		})
+	}
+	return infos
+}
+
+// GraphInfo reports the canonical graph's size and the current commit
+// sequence.
+func (r *Registry) GraphInfo() (nodes, edges int, seq uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.g.NumNodes(), r.g.NumEdges(), r.seq
+}
+
+// Seq returns the current commit sequence number.
+func (r *Registry) Seq() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.seq
+}
+
+// Close unregisters every pattern and cancels all subscriptions; further
+// writes fail.
+func (r *Registry) Close() {
+	r.writeMu.Lock()
+	r.closed = true
+	r.mu.Lock()
+	pats := r.pats
+	r.pats = make(map[string]*registration)
+	r.mu.Unlock()
+	r.writeMu.Unlock()
+	for _, reg := range pats {
+		reg.mu.Lock()
+		subs := make([]*Subscription, 0, len(reg.subs))
+		for s := range reg.subs {
+			subs = append(subs, s)
+		}
+		reg.subs = make(map[*Subscription]struct{})
+		reg.mu.Unlock()
+		for _, s := range subs {
+			s.close()
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package contq
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gpm/internal/graph"
+	"gpm/internal/incbsim"
+	"gpm/internal/incsim"
+	"gpm/internal/iso"
+	"gpm/internal/pattern"
+	"gpm/internal/rel"
+)
+
+// matcher adapts one engine kind to the registry: apply repairs the
+// engine's private graph replica and reports the visible ΔM; result
+// returns the current match as a shared immutable snapshot. apply calls
+// are serialized by the registry's writer lock (one in flight per matcher)
+// but run concurrently with result on other goroutines, so every matcher
+// must support that overlap.
+type matcher interface {
+	apply(ups []graph.Update) rel.Delta
+	result() rel.Relation
+}
+
+// newMatcher builds the engine for a kind over the pattern's private graph
+// replica.
+func newMatcher(kind Kind, p *pattern.Pattern, g *graph.Graph, workers int) (matcher, error) {
+	switch kind {
+	case KindSim:
+		eng, err := incsim.New(p, g, incsim.WithWorkers(workers))
+		if err != nil {
+			return nil, err
+		}
+		return simMatcher{eng}, nil
+	case KindBSim:
+		eng, err := incbsim.New(p, g, incbsim.WithWorkers(workers))
+		if err != nil {
+			return nil, err
+		}
+		return bsimMatcher{eng}, nil
+	case KindIso:
+		if !p.IsNormal() {
+			return nil, fmt.Errorf("contq: iso patterns must be normal")
+		}
+		if p.HasColors() {
+			return nil, fmt.Errorf("contq: iso patterns cannot be colored")
+		}
+		return newIsoMatcher(p, g), nil
+	default:
+		return nil, fmt.Errorf("contq: unknown engine kind %q", kind)
+	}
+}
+
+// simMatcher backs a normal pattern with incremental graph simulation.
+type simMatcher struct{ eng *incsim.Engine }
+
+func (m simMatcher) apply(ups []graph.Update) rel.Delta {
+	_, d := m.eng.BatchDelta(ups)
+	return d
+}
+
+func (m simMatcher) result() rel.Relation { return m.eng.Result() }
+
+// bsimMatcher backs a b-pattern with incremental bounded simulation.
+type bsimMatcher struct{ eng *incbsim.Engine }
+
+func (m bsimMatcher) apply(ups []graph.Update) rel.Delta {
+	return m.eng.BatchDelta(ups)
+}
+
+func (m bsimMatcher) result() rel.Relation { return m.eng.Result() }
+
+// isoMatcher backs a normal pattern with incremental subgraph isomorphism.
+// The relation view is the union of embeddings projected to (u, v) pairs,
+// maintained by reference counting: a pair appears when its first
+// embedding does and vanishes with its last. The iso engine has no
+// internal synchronization, so the adapter serializes apply with its own
+// lock; result reads an always-present atomic snapshot refreshed at the
+// end of each changing batch, so readers never block behind a repair (the
+// contract the other engines implement internally).
+type isoMatcher struct {
+	mu   sync.Mutex
+	eng  *iso.Engine
+	np   int
+	ref  map[rel.Pair]int
+	snap atomic.Pointer[rel.Relation]
+}
+
+func newIsoMatcher(p *pattern.Pattern, g *graph.Graph) *isoMatcher {
+	m := &isoMatcher{eng: iso.NewEngine(p, g), np: p.NumNodes(), ref: make(map[rel.Pair]int)}
+	for _, em := range m.eng.Embeddings() {
+		for u, v := range em {
+			m.ref[rel.Pair{U: u, V: v}]++
+		}
+	}
+	m.storeSnapshot()
+	return m
+}
+
+// storeSnapshot publishes the current refcounted relation. Callers must
+// hold m.mu (or be the constructor).
+func (m *isoMatcher) storeSnapshot() {
+	r := rel.NewRelation(m.np)
+	for pr := range m.ref {
+		r[pr.U].Add(pr.V)
+	}
+	m.snap.Store(&r)
+}
+
+func (m *isoMatcher) apply(ups []graph.Update) rel.Delta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Record each touched pair's refcount at first touch; comparing against
+	// the final count below yields the net delta with intra-batch
+	// cancellation (a pair dropped and re-established emits nothing).
+	before := make(map[rel.Pair]int)
+	touch := func(em iso.Embedding, delta int) {
+		for u, v := range em {
+			pr := rel.Pair{U: u, V: v}
+			if _, seen := before[pr]; !seen {
+				before[pr] = m.ref[pr]
+			}
+			m.ref[pr] += delta
+			if m.ref[pr] == 0 {
+				delete(m.ref, pr)
+			}
+		}
+	}
+	for _, up := range ups {
+		if up.Op == graph.InsertEdge {
+			_, added := m.eng.InsertDelta(up.From, up.To)
+			for _, em := range added {
+				touch(em, 1)
+			}
+		} else {
+			_, removed := m.eng.DeleteDelta(up.From, up.To)
+			for _, em := range removed {
+				touch(em, -1)
+			}
+		}
+	}
+	var d rel.Delta
+	for pr, b := range before {
+		now := m.ref[pr]
+		switch {
+		case b == 0 && now > 0:
+			d.Added = append(d.Added, pr)
+		case b > 0 && now == 0:
+			d.Removed = append(d.Removed, pr)
+		}
+	}
+	if !d.Empty() {
+		m.storeSnapshot()
+	}
+	d.Sort()
+	return d
+}
+
+func (m *isoMatcher) result() rel.Relation { return *m.snap.Load() }

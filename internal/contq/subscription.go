@@ -1,0 +1,108 @@
+package contq
+
+import (
+	"sync"
+
+	"gpm/internal/rel"
+)
+
+// Subscription is one subscriber's view of a pattern's match-delta stream.
+// Snapshot is the result at subscription time and Seq the commit it
+// reflects; every commit after Seq arrives on C exactly once, in commit
+// order. Snapshot ⊕ (all deltas received so far) always equals the live
+// result as of the last received event.
+//
+// Events queue in an unbounded mailbox between the registry's writer and
+// the consumer, so a slow consumer never blocks a commit (the memory held
+// is proportional to its lag). C closes after Cancel or when the pattern
+// is unregistered.
+type Subscription struct {
+	C        <-chan Event
+	Snapshot rel.Relation // shared immutable snapshot — Clone before mutating
+	Seq      uint64
+	Pattern  string
+
+	reg  *registration
+	done chan struct{}
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Event
+	closed bool
+}
+
+func newSubscription(id string, snapshot rel.Relation, seq uint64, reg *registration) *Subscription {
+	out := make(chan Event)
+	s := &Subscription{
+		C:        out,
+		Snapshot: snapshot,
+		Seq:      seq,
+		Pattern:  id,
+		reg:      reg,
+		done:     make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.pump(out)
+	return s
+}
+
+// push enqueues one event; called by the registry's publisher. Never
+// blocks beyond the mailbox lock.
+func (s *Subscription) push(ev Event) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, ev)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// pump drains the mailbox to the consumer channel in order, ending (and
+// closing the channel) on cancellation.
+func (s *Subscription) pump(out chan<- Event) {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			close(out)
+			return
+		}
+		ev := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		select {
+		case out <- ev:
+		case <-s.done:
+			close(out)
+			return
+		}
+	}
+}
+
+// Cancel detaches the subscription: the registry stops delivering to it,
+// queued-but-unread events are discarded, and C closes. Safe to call more
+// than once and concurrently with delivery.
+func (s *Subscription) Cancel() {
+	if s.reg != nil {
+		s.reg.detach(s)
+	}
+	s.close()
+}
+
+// close shuts the mailbox down without detaching (used by Unregister and
+// Close, which already removed the subscription from the registration).
+func (s *Subscription) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.queue = nil
+	close(s.done)
+	s.cond.Signal()
+	s.mu.Unlock()
+}

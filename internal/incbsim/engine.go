@@ -21,6 +21,7 @@ package incbsim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gpm/internal/distance"
 	"gpm/internal/graph"
@@ -70,8 +71,18 @@ type Engine struct {
 	bfs   *distance.BFS   // live bounded-BFS view of g (enumeration + fallback Dist)
 	lmIdx *landmark.Index // optional maintained landmark index for Dist
 
-	workers int             // parallelism of the deletion-repair sweep (0 = default)
+	workers int             // parallelism of the insert/delete repair sweeps (0 = default)
 	parBFS  []*distance.BFS // per-worker BFS oracles for parallel sweeps
+
+	// Per-write change-set: armed by beginChanges, recorded by cascade and
+	// promote, converted to a user-visible ΔM by endChanges. Nil outside a
+	// write (and during the initial rebuild).
+	cs *rel.ChangeSet
+
+	// snap caches the user-visible Result() snapshot between writes; any
+	// write that changes match() invalidates it, so repeated reads are
+	// allocation-free and never block behind a writer.
+	snap atomic.Pointer[rel.Relation]
 
 	stats Stats
 }
@@ -193,6 +204,23 @@ type pair struct {
 	v graph.NodeID
 }
 
+// beginChanges arms the per-write change-set: until endChanges, every
+// match() mutation is recorded (with add/remove cancellation) so the write
+// can report its visible ΔM. Callers must hold the write lock.
+func (e *Engine) beginChanges() { e.cs = rel.NewChangeSet(e.match) }
+
+// endChanges disarms the change-set and converts it to the user-visible
+// delta under the totality convention. A visible change invalidates the
+// cached Result() snapshot.
+func (e *Engine) endChanges() rel.Delta {
+	d := e.cs.End(e.match)
+	e.cs = nil
+	if !d.Empty() {
+		e.snap.Store(nil)
+	}
+	return d
+}
+
 // cascade propagates match removals: each removal decrements the support
 // counters of match ancestors within the relevant bounds.
 func (e *Engine) cascade(queue []pair) {
@@ -200,6 +228,7 @@ func (e *Engine) cascade(queue []pair) {
 		rm := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		e.stats.Removals++
+		e.cs.NoteRemoved(rm.u, rm.v)
 		for _, ei := range e.outEdges[rm.u] {
 			delete(e.cnt[ei], rm.v)
 		}
@@ -267,10 +296,23 @@ func (e *Engine) isCandidate(u int, v graph.NodeID) bool {
 }
 
 // Result returns Mksim(P, G) under the totality convention.
+//
+// The returned relation is a shared immutable snapshot: callers must not
+// mutate it. The snapshot is cached until the next write invalidates it,
+// so repeated reads between updates are allocation-free and the fast path
+// takes no lock at all.
 func (e *Engine) Result() rel.Relation {
+	if p := e.snap.Load(); p != nil {
+		return *p
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.result()
+	if p := e.snap.Load(); p != nil {
+		return *p
+	}
+	r := e.result()
+	e.snap.Store(&r)
+	return r
 }
 
 func (e *Engine) result() rel.Relation {

@@ -86,6 +86,10 @@ func (m *MatrixEngine) Batch(ups []graph.Update) {
 	e := m.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Arm the inner engine's change-set so cascade/promote invalidate its
+	// cached Result() snapshot (drainTouched/promote record through it).
+	e.beginChanges()
+	defer e.endChanges()
 	net := netUpdates(e.g, ups)
 	if len(net) == 0 {
 		return

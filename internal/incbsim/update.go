@@ -14,6 +14,7 @@ import (
 	"gpm/internal/distance"
 	"gpm/internal/graph"
 	"gpm/internal/par"
+	"gpm/internal/rel"
 )
 
 // neighborhood captures one side of the affected area: node → nonempty-path
@@ -48,13 +49,9 @@ func (e *Engine) descendantsOf(b graph.NodeID, bound int) neighborhood {
 	return nb
 }
 
-// descMap captures the nonempty-path distances from v within bound.
-func (e *Engine) descMap(v graph.NodeID, bound int) map[graph.NodeID]int {
-	return descMapWith(e.bfs, v, bound)
-}
-
-// descMapWith is descMap over an explicit oracle, so parallel workers can
-// use private scratch space.
+// descMapWith captures the nonempty-path distances from v within bound
+// over an explicit oracle, so parallel workers can use private scratch
+// space.
 func descMapWith(b *distance.BFS, v graph.NodeID, bound int) map[graph.NodeID]int {
 	m := make(map[graph.NodeID]int)
 	if bound >= 1 {
@@ -103,9 +100,28 @@ func (e *Engine) applyEdge(up graph.Update) bool {
 	return changed
 }
 
+// insFlips collects one source's outcome of an insertion sweep: per-edge
+// counter increments and the pattern nodes it newly seeds for promotion.
+type insFlips struct {
+	v     graph.NodeID
+	incs  []eiCount
+	seeds []int // pattern nodes u such that (u, v) becomes a promotion seed
+}
+
+// eiCount is a per-pattern-edge counter adjustment.
+type eiCount struct {
+	ei int
+	n  int32
+}
+
 // insertSweep processes one edge insertion (a, b): it adjusts support
 // counters for ss pairs flipping within bound and records promotion seeds
 // for candidate sources gaining a target. The graph is mutated inside.
+//
+// The per-source scan (one lazy old-graph bounded BFS each) only reads
+// engine state that is stable during the sweep, so it is embarrassingly
+// parallel over sources and runs on the engine's worker pool, mirroring
+// the deletion repair; counter and seed mutations stay serial.
 func (e *Engine) insertSweep(a, b graph.NodeID, seeds map[pair]bool) bool {
 	if e.g.HasEdge(a, b) {
 		return false
@@ -136,20 +152,25 @@ func (e *Engine) insertSweep(a, b graph.NodeID, seeds map[pair]bool) bool {
 			}
 		}
 	}
-	for v, dva := range anc {
+
+	// collectIns gathers, for one source v at distance dva above a, the
+	// counter increments and promotion seeds the insertion causes. It reads
+	// seeds but never writes it (writes happen in the serial apply phase).
+	collectIns := func(bfs *distance.BFS, v graph.NodeID, dva int) (flips insFlips, examined int64) {
+		flips.v = v
 		// One old-graph snapshot around v tells which pairs were already
 		// within bound — computed lazily, only when v has in-budget targets.
 		var oldD map[graph.NodeID]int
 		snapshot := func(maxK int) map[graph.NodeID]int {
 			if oldD == nil {
-				oldD = e.descMap(v, maxK)
-				e.stats.PairsExamined += int64(len(oldD))
+				oldD = descMapWith(bfs, v, maxK)
+				examined += int64(len(oldD))
 			}
 			return oldD
 		}
 		maxK := e.maxBoundFor(v)
 		if maxK == 0 || dva+1 > maxK {
-			continue
+			return flips, examined
 		}
 		for ei, pe := range e.edges {
 			budget := pe.Bound - dva - 1
@@ -159,6 +180,7 @@ func (e *Engine) insertSweep(a, b graph.NodeID, seeds map[pair]bool) bool {
 			isMatchSrc := e.match[pe.From].Has(v)
 			isCand := !isMatchSrc && e.sat[pe.From].Has(v)
 			if isMatchSrc {
+				n := int32(0)
 				for _, t := range descMatch[ei] {
 					if t.d > budget {
 						continue
@@ -168,8 +190,10 @@ func (e *Engine) insertSweep(a, b graph.NodeID, seeds map[pair]bool) bool {
 					if od, ok := snapshot(maxK)[t.w]; ok && od <= pe.Bound {
 						continue
 					}
-					e.cnt[ei][v]++
-					e.stats.CounterUpdates++
+					n++
+				}
+				if n > 0 {
+					flips.incs = append(flips.incs, eiCount{ei, n})
 				}
 			} else if isCand && seeds != nil {
 				if _, seeded := seeds[pair{pe.From, v}]; seeded {
@@ -182,10 +206,57 @@ func (e *Engine) insertSweep(a, b graph.NodeID, seeds map[pair]bool) bool {
 					if od, ok := snapshot(maxK)[t.w]; ok && od <= pe.Bound {
 						continue
 					}
-					seeds[pair{pe.From, v}] = true
+					flips.seeds = append(flips.seeds, pe.From)
 					break
 				}
 			}
+		}
+		return flips, examined
+	}
+
+	var all []insFlips
+	w := par.Resolve(e.workers, len(anc))
+	if w == 1 {
+		for v, dva := range anc {
+			flips, ex := collectIns(e.bfs, v, dva)
+			e.stats.PairsExamined += ex
+			if len(flips.incs) > 0 || len(flips.seeds) > 0 {
+				all = append(all, flips)
+			}
+		}
+	} else {
+		type srcEntry struct {
+			v   graph.NodeID
+			dva int
+		}
+		srcs := make([]srcEntry, 0, len(anc))
+		for v, dva := range anc {
+			srcs = append(srcs, srcEntry{v, dva})
+		}
+		results := make([]insFlips, len(srcs))
+		examined := make([]int64, w)
+		oracles := e.workerOracles(w)
+		par.For(len(srcs), w, func(worker, i int) {
+			flips, ex := collectIns(oracles[worker], srcs[i].v, srcs[i].dva)
+			results[i] = flips
+			examined[worker] += ex
+		})
+		for _, ex := range examined {
+			e.stats.PairsExamined += ex
+		}
+		for _, flips := range results {
+			if len(flips.incs) > 0 || len(flips.seeds) > 0 {
+				all = append(all, flips)
+			}
+		}
+	}
+	for _, flips := range all {
+		for _, inc := range flips.incs {
+			e.cnt[inc.ei][flips.v] += inc.n
+			e.stats.CounterUpdates += int64(inc.n)
+		}
+		for _, u := range flips.seeds {
+			seeds[pair{u, flips.v}] = true
 		}
 	}
 	return e.applyEdge(graph.Insert(a, b))
@@ -389,9 +460,18 @@ func (e *Engine) drainTouched(touched map[int]map[graph.NodeID]bool) {
 // Delete removes edge (v0, v1), incrementally repairing the match
 // (IncBMatch⁻). It reports whether the edge existed.
 func (e *Engine) Delete(v0, v1 graph.NodeID) bool {
+	ok, _ := e.DeleteDelta(v0, v1)
+	return ok
+}
+
+// DeleteDelta is Delete additionally reporting the visible match delta ΔM
+// of the update.
+func (e *Engine) DeleteDelta(v0, v1 graph.NodeID) (bool, rel.Delta) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.deleteLocked(v0, v1)
+	e.beginChanges()
+	ok := e.deleteLocked(v0, v1)
+	return ok, e.endChanges()
 }
 
 func (e *Engine) deleteLocked(v0, v1 graph.NodeID) bool {
@@ -406,9 +486,18 @@ func (e *Engine) deleteLocked(v0, v1 graph.NodeID) bool {
 // Insert adds edge (v0, v1), incrementally repairing the match
 // (IncBMatch⁺). It reports whether the edge was new.
 func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
+	ok, _ := e.InsertDelta(v0, v1)
+	return ok
+}
+
+// InsertDelta is Insert additionally reporting the visible match delta ΔM
+// of the update.
+func (e *Engine) InsertDelta(v0, v1 graph.NodeID) (bool, rel.Delta) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.insertLocked(v0, v1)
+	e.beginChanges()
+	ok := e.insertLocked(v0, v1)
+	return ok, e.endChanges()
 }
 
 func (e *Engine) insertLocked(v0, v1 graph.NodeID) bool {
@@ -424,8 +513,20 @@ func (e *Engine) insertLocked(v0, v1 graph.NodeID) bool {
 // then all deletions with a single cascade, then all insertions with a
 // single promotion.
 func (e *Engine) Batch(ups []graph.Update) {
+	e.BatchDelta(ups)
+}
+
+// BatchDelta is Batch additionally reporting the visible match delta ΔM of
+// the whole batch (with intra-batch remove/add cancellation).
+func (e *Engine) BatchDelta(ups []graph.Update) rel.Delta {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.beginChanges()
+	e.batchLocked(ups)
+	return e.endChanges()
+}
+
+func (e *Engine) batchLocked(ups []graph.Update) {
 	net := netUpdates(e.g, ups)
 	touched := make(map[int]map[graph.NodeID]bool)
 	for _, up := range net {
@@ -445,8 +546,15 @@ func (e *Engine) Batch(ups []graph.Update) {
 
 // Apply is the naive baseline: unit updates one at a time.
 func (e *Engine) Apply(ups []graph.Update) {
+	e.ApplyDelta(ups)
+}
+
+// ApplyDelta is Apply additionally reporting the visible match delta ΔM of
+// the whole batch.
+func (e *Engine) ApplyDelta(ups []graph.Update) rel.Delta {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.beginChanges()
 	for _, up := range ups {
 		if up.Op == graph.InsertEdge {
 			e.insertLocked(up.From, up.To)
@@ -454,6 +562,7 @@ func (e *Engine) Apply(ups []graph.Update) {
 			e.deleteLocked(up.From, up.To)
 		}
 	}
+	return e.endChanges()
 }
 
 // netUpdates collapses updates to their net effect against g.
@@ -571,6 +680,7 @@ func (e *Engine) promote(seeds map[pair]bool) {
 		for v := range tentative[u] {
 			e.match[u].Add(v)
 			e.stats.Promotions++
+			e.cs.NoteAdded(u, v)
 			newPairs = append(newPairs, pair{u, v})
 		}
 	}

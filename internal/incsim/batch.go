@@ -7,7 +7,11 @@ package incsim
 // sweep + one cascade) and all insertions simultaneously (one promotion
 // closure), rather than one update at a time.
 
-import "gpm/internal/graph"
+import (
+	"gpm/internal/graph"
+	"gpm/internal/par"
+	"gpm/internal/rel"
+)
 
 // BatchResult reports what a batch application did — the minDelta reduction
 // statistics of Fig. 20(a) plus the affected-area outcome.
@@ -22,8 +26,21 @@ type BatchResult struct {
 // Batch applies a mixed list of edge insertions and deletions, repairing
 // the match incrementally while processing the updates together.
 func (e *Engine) Batch(ups []graph.Update) BatchResult {
+	res, _ := e.BatchDelta(ups)
+	return res
+}
+
+// BatchDelta is Batch additionally reporting the visible match delta ΔM of
+// the whole batch (with intra-batch remove/add cancellation).
+func (e *Engine) BatchDelta(ups []graph.Update) (BatchResult, rel.Delta) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.beginChanges()
+	res := e.batchLocked(ups)
+	return res, e.endChanges()
+}
+
+func (e *Engine) batchLocked(ups []graph.Update) BatchResult {
 	res := BatchResult{Original: len(ups)}
 	before := int(e.stats.Removals)
 	beforeAdd := int(e.stats.Promotions)
@@ -54,23 +71,39 @@ func (e *Engine) Batch(ups []graph.Update) BatchResult {
 	// Counter sweep: all deletions and ss insertions adjust support counters
 	// in one pass, so an insert and a delete hitting the same (pattern edge,
 	// source) pair cancel without triggering a spurious removal cascade.
+	// The scan phase only reads match(), so it fans out across the worker
+	// pool; the counter mutations are applied serially from the per-worker
+	// op lists (map writes may not race even on distinct keys).
 	var queue []pair
 	touched := make(map[int]map[graph.NodeID]bool)
-	for _, up := range relevant {
+	type cop struct {
+		ei int
+		v  graph.NodeID
+		d  int32
+	}
+	w := par.Resolve(e.workers, len(relevant))
+	ops := make([][]cop, w)
+	par.For(len(relevant), w, func(worker, i int) {
+		up := relevant[i]
 		for ei, pe := range e.edges {
 			if !e.match[pe.From].Has(up.From) || !e.match[pe.To].Has(up.To) {
 				continue
 			}
-			if up.Op == graph.InsertEdge {
-				e.cnt[ei][up.From]++
-			} else {
-				e.cnt[ei][up.From]--
+			d := int32(1)
+			if up.Op == graph.DeleteEdge {
+				d = -1
 			}
+			ops[worker] = append(ops[worker], cop{ei, up.From, d})
+		}
+	})
+	for _, list := range ops {
+		for _, o := range list {
+			e.cnt[o.ei][o.v] += o.d
 			e.stats.CounterUpdates++
-			if touched[ei] == nil {
-				touched[ei] = make(map[graph.NodeID]bool)
+			if touched[o.ei] == nil {
+				touched[o.ei] = make(map[graph.NodeID]bool)
 			}
-			touched[ei][up.From] = true
+			touched[o.ei][o.v] = true
 		}
 	}
 	for ei, nodes := range touched {
@@ -112,8 +145,15 @@ func (e *Engine) Batch(ups []graph.Update) BatchResult {
 // Apply is the naive IncMatchn baseline: it processes the batch one unit
 // update at a time through IncMatch⁺/IncMatch⁻, with no minDelta reduction.
 func (e *Engine) Apply(ups []graph.Update) {
+	e.ApplyDelta(ups)
+}
+
+// ApplyDelta is Apply additionally reporting the visible match delta ΔM of
+// the whole batch.
+func (e *Engine) ApplyDelta(ups []graph.Update) rel.Delta {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.beginChanges()
 	for _, up := range ups {
 		if up.Op == graph.InsertEdge {
 			e.insertLocked(up.From, up.To)
@@ -121,6 +161,7 @@ func (e *Engine) Apply(ups []graph.Update) {
 			e.deleteLocked(up.From, up.To)
 		}
 	}
+	return e.endChanges()
 }
 
 // netUpdates collapses a list of updates to its net effect against the

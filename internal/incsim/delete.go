@@ -7,14 +7,26 @@ package incsim
 // and the invalidation cascades through the result graph, touching only the
 // affected area.
 
-import "gpm/internal/graph"
+import (
+	"gpm/internal/graph"
+	"gpm/internal/rel"
+)
 
 // Delete removes the edge (v0, v1) from the data graph and incrementally
 // repairs the match. It reports whether the edge existed.
 func (e *Engine) Delete(v0, v1 graph.NodeID) bool {
+	ok, _ := e.DeleteDelta(v0, v1)
+	return ok
+}
+
+// DeleteDelta is Delete additionally reporting the visible match delta ΔM
+// of the update.
+func (e *Engine) DeleteDelta(v0, v1 graph.NodeID) (bool, rel.Delta) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.deleteLocked(v0, v1)
+	e.beginChanges()
+	ok := e.deleteLocked(v0, v1)
+	return ok, e.endChanges()
 }
 
 func (e *Engine) deleteLocked(v0, v1 graph.NodeID) bool {

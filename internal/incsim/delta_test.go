@@ -1,0 +1,175 @@
+package incsim
+
+import (
+	"reflect"
+	"testing"
+
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+)
+
+// TestDeltaEquivalence replays random update streams and checks, after
+// every unit update and batch, that the reported ΔM applied to the old
+// visible result reproduces the new visible result exactly.
+func TestDeltaEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := generator.Synthetic(100, 400, generator.DefaultSchema(3), seed)
+		p := generator.Pattern(g, generator.PatternParams{Nodes: 3, Edges: 3, Preds: 1, K: 1}, seed)
+		e, err := New(p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := e.Result().Clone()
+		for _, up := range generator.Updates(g, 50, 50, seed+10) {
+			if up.Op == graph.InsertEdge {
+				_, delta := e.InsertDelta(up.From, up.To)
+				delta.Apply(acc)
+			} else {
+				_, delta := e.DeleteDelta(up.From, up.To)
+				delta.Apply(acc)
+			}
+			if !acc.Equal(e.Result()) {
+				t.Fatalf("seed %d: accumulated deltas diverge from Result() after %v", seed, up)
+			}
+		}
+	}
+}
+
+// TestBatchDeltaEquivalence checks the batch path: the batch's single ΔM
+// applied to the pre-batch result equals the post-batch result.
+func TestBatchDeltaEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := generator.Synthetic(100, 400, generator.DefaultSchema(3), seed)
+		p := generator.Pattern(g, generator.PatternParams{Nodes: 3, Edges: 3, Preds: 1, K: 1}, seed)
+		e, err := New(p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups := generator.Updates(g, 40, 40, seed+20)
+		for i := 0; i < len(ups); i += 10 {
+			end := i + 10
+			if end > len(ups) {
+				end = len(ups)
+			}
+			before := e.Result().Clone()
+			_, delta := e.BatchDelta(ups[i:end])
+			delta.Apply(before)
+			if !before.Equal(e.Result()) {
+				t.Fatalf("seed %d: batch delta diverges from Result() at chunk %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestDeltaTotalityCollapse drives the match through both totality
+// transitions: deleting the last support of a pattern node must emit the
+// entire old relation as removed, and restoring it must emit the entire
+// new relation as added.
+func TestDeltaTotalityCollapse(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode(graph.NewTuple("label", `"A"`))
+	b := g.AddNode(graph.NewTuple("label", `"B"`))
+	b2 := g.AddNode(graph.NewTuple("label", `"B"`))
+	g.AddEdge(a, b)
+	g.AddEdge(a, b2)
+
+	p := pattern.New()
+	pa := p.AddNode(pattern.Label("A"))
+	pb := p.AddNode(pattern.Label("B"))
+	if err := p.AddEdge(pa, pb, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := New(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Result().Size() != 3 {
+		t.Fatalf("initial result = %v", e.Result())
+	}
+
+	// Removing one of two children leaves every pair alive (simulation has
+	// no parent condition, so b2 keeps matching pb): the delta is empty.
+	_, d := e.DeleteDelta(a, b2)
+	if !d.Empty() {
+		t.Fatalf("delta after first delete = %+v", d)
+	}
+	// Removing the final child collapses totality: a no longer matches pa,
+	// so the visible result goes from {(pa,a),(pb,b)} to ∅.
+	before := e.Result().Clone()
+	_, d = e.DeleteDelta(a, b)
+	if len(d.Removed) != before.Size() || len(d.Added) != 0 {
+		t.Fatalf("collapse delta = %+v, want %d removals", d, before.Size())
+	}
+	acc := before
+	d.Apply(acc)
+	if !acc.Equal(e.Result()) || !e.Result().Empty() {
+		t.Fatalf("post-collapse accumulation = %v, result = %v", acc, e.Result())
+	}
+	// Restoring the edge flips ∅ → total: everything appears as added.
+	_, d = e.InsertDelta(a, b)
+	if len(d.Added) == 0 || len(d.Removed) != 0 {
+		t.Fatalf("restore delta = %+v", d)
+	}
+	d.Apply(acc)
+	if !acc.Equal(e.Result()) {
+		t.Fatalf("post-restore accumulation diverges: %v vs %v", acc, e.Result())
+	}
+}
+
+// TestResultSnapshotCached verifies that repeated Result() calls between
+// writes return the same cached snapshot (no re-clone), and that a write
+// invalidates it.
+func TestResultSnapshotCached(t *testing.T) {
+	g := generator.Synthetic(50, 200, generator.DefaultSchema(3), 1)
+	p := generator.Pattern(g, generator.PatternParams{Nodes: 3, Edges: 3, Preds: 1, K: 1}, 1)
+	e, err := New(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := e.Result()
+	r2 := e.Result()
+	if reflect.ValueOf(r1).Pointer() != reflect.ValueOf(r2).Pointer() {
+		t.Fatal("Result() re-allocated between writes")
+	}
+	ups := generator.Updates(g, 5, 5, 2)
+	e.Batch(ups)
+	r3 := e.Result()
+	if !r3.Equal(e.Result()) {
+		t.Fatal("post-write snapshot unstable")
+	}
+}
+
+// TestParallelBatchSweepEquivalence runs the same batches through a serial
+// and a parallel engine and demands identical results and invariants.
+func TestParallelBatchSweepEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g1 := generator.Synthetic(120, 480, generator.DefaultSchema(3), seed)
+		g2 := g1.Clone()
+		p := generator.Pattern(g1, generator.PatternParams{Nodes: 3, Edges: 3, Preds: 1, K: 1}, seed)
+		serial, err := New(p, g1, WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := New(p, g2, WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups := generator.Updates(g1, 60, 60, seed+30)
+		for i := 0; i < len(ups); i += 15 {
+			end := i + 15
+			if end > len(ups) {
+				end = len(ups)
+			}
+			serial.Batch(ups[i:end])
+			parallel.Batch(ups[i:end])
+			if !serial.Result().Equal(parallel.Result()) {
+				t.Fatalf("seed %d: parallel batch diverges at chunk %d", seed, i)
+			}
+			if err := parallel.checkInvariants(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ package incsim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gpm/internal/graph"
 	"gpm/internal/pattern"
@@ -63,14 +64,35 @@ type Engine struct {
 	// match(tgt(e)) — the support that keeps v alive for pattern edge e.
 	cnt []map[graph.NodeID]int32
 
+	workers int // parallelism of the batch counter sweep (0 = default)
+
+	// Per-write change-set: armed by beginChanges, recorded by cascade and
+	// the promotion paths, converted to a user-visible ΔM by endChanges.
+	// Nil outside a write (and during the initial rebuild).
+	cs *rel.ChangeSet
+
+	// snap caches the user-visible Result() snapshot between writes; any
+	// write that changes match() invalidates it, so repeated reads are
+	// allocation-free and never block behind each other.
+	snap atomic.Pointer[rel.Relation]
+
 	stats Stats
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the parallelism of the batch counter sweep: 0 selects
+// the default (par.DefaultWorkers), 1 keeps the sweep serial.
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
 }
 
 // New builds an engine for pattern p over graph g, computing the initial
 // maximum simulation with the batch algorithm. The pattern must be normal
 // (every bound 1); a non-normal pattern is rejected since incremental
 // simulation is defined on normal patterns (use incbsim for b-patterns).
-func New(p *pattern.Pattern, g *graph.Graph) (*Engine, error) {
+func New(p *pattern.Pattern, g *graph.Graph, options ...Option) (*Engine, error) {
 	if !p.IsNormal() {
 		return nil, fmt.Errorf("incsim: pattern is not normal; bounded patterns need incbsim")
 	}
@@ -78,6 +100,9 @@ func New(p *pattern.Pattern, g *graph.Graph) (*Engine, error) {
 		return nil, fmt.Errorf("incsim: colored patterns are batch-only (use core.MatchColored)")
 	}
 	e := &Engine{p: p, g: g, edges: p.Edges()}
+	for _, o := range options {
+		o(e)
+	}
 	np := p.NumNodes()
 	e.outEdges = make([][]int, np)
 	e.inEdges = make([][]int, np)
@@ -137,6 +162,23 @@ type pair struct {
 	v graph.NodeID
 }
 
+// beginChanges arms the per-write change-set: until endChanges, every
+// match() mutation is recorded (with add/remove cancellation) so the write
+// can report its visible ΔM. Callers must hold the write lock.
+func (e *Engine) beginChanges() { e.cs = rel.NewChangeSet(e.match) }
+
+// endChanges disarms the change-set and converts it to the user-visible
+// delta under the totality convention. A visible change invalidates the
+// cached Result() snapshot.
+func (e *Engine) endChanges() rel.Delta {
+	d := e.cs.End(e.match)
+	e.cs = nil
+	if !d.Empty() {
+		e.snap.Store(nil)
+	}
+	return d
+}
+
 // cascade propagates a queue of match removals (the worklist of IncMatch⁻):
 // each removal decrements the support counters of its match parents, and
 // counters hitting zero enqueue further removals. Runs in O(|AFF|).
@@ -145,6 +187,7 @@ func (e *Engine) cascade(queue []pair) {
 		rm := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		e.stats.Removals++
+		e.cs.NoteRemoved(rm.u, rm.v)
 		// Drop the removed pair's own stale counters.
 		for _, ei := range e.outEdges[rm.u] {
 			delete(e.cnt[ei], rm.v)
@@ -213,10 +256,23 @@ func (e *Engine) isCandidate(u int, v graph.NodeID) bool {
 
 // Result returns the maximum simulation Msim(P, G) under the totality
 // convention: empty when some pattern node has no match.
+//
+// The returned relation is a shared immutable snapshot: callers must not
+// mutate it. The snapshot is cached until the next write invalidates it,
+// so repeated reads between updates are allocation-free and the fast path
+// takes no lock at all.
 func (e *Engine) Result() rel.Relation {
+	if p := e.snap.Load(); p != nil {
+		return *p
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.result()
+	if p := e.snap.Load(); p != nil {
+		return *p
+	}
+	r := e.result()
+	e.snap.Store(&r)
+	return r
 }
 
 func (e *Engine) result() rel.Relation {

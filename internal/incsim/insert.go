@@ -12,15 +12,25 @@ import (
 	"fmt"
 
 	"gpm/internal/graph"
+	"gpm/internal/rel"
 )
 
 // Insert adds the edge (v0, v1) to the data graph and incrementally repairs
 // the match (general, possibly cyclic patterns). It reports whether the
 // edge was new.
 func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
+	ok, _ := e.InsertDelta(v0, v1)
+	return ok
+}
+
+// InsertDelta is Insert additionally reporting the visible match delta ΔM
+// of the update.
+func (e *Engine) InsertDelta(v0, v1 graph.NodeID) (bool, rel.Delta) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.insertLocked(v0, v1)
+	e.beginChanges()
+	ok := e.insertLocked(v0, v1)
+	return ok, e.endChanges()
 }
 
 func (e *Engine) insertLocked(v0, v1 graph.NodeID) bool {
@@ -57,11 +67,23 @@ func (e *Engine) insertLocked(v0, v1 graph.NodeID) bool {
 // from pattern leaves towards roots. It returns an error if the pattern is
 // cyclic.
 func (e *Engine) InsertDAG(v0, v1 graph.NodeID) (bool, error) {
+	ok, _, err := e.InsertDAGDelta(v0, v1)
+	return ok, err
+}
+
+// InsertDAGDelta is InsertDAG additionally reporting the visible ΔM.
+func (e *Engine) InsertDAGDelta(v0, v1 graph.NodeID) (bool, rel.Delta, error) {
 	if !e.p.IsDAG() {
-		return false, fmt.Errorf("incsim: InsertDAG requires a DAG pattern")
+		return false, rel.Delta{}, fmt.Errorf("incsim: InsertDAG requires a DAG pattern")
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.beginChanges()
+	ok, err := e.insertDAGLocked(v0, v1)
+	return ok, e.endChanges(), err
+}
+
+func (e *Engine) insertDAGLocked(v0, v1 graph.NodeID) (bool, error) {
 	added, err := e.g.AddEdge(v0, v1)
 	if err != nil || !added {
 		return false, err
@@ -133,6 +155,7 @@ func (e *Engine) supported(u int, v graph.NodeID) bool {
 func (e *Engine) addMatch(u int, v graph.NodeID) {
 	e.match[u].Add(v)
 	e.stats.Promotions++
+	e.cs.NoteAdded(u, v)
 	for _, ei := range e.outEdges[u] {
 		tgt := e.edges[ei].To
 		c := int32(0)
@@ -257,6 +280,7 @@ func (e *Engine) promote(seeds []pair) {
 		for v := range tentative[u] {
 			e.match[u].Add(v)
 			e.stats.Promotions++
+			e.cs.NoteAdded(u, v)
 			newPairs = append(newPairs, pair{u, v})
 		}
 	}

@@ -40,10 +40,10 @@ func NewEngine(p *pattern.Pattern, g *graph.Graph) *Engine {
 	return e
 }
 
-func (e *Engine) add(em Embedding) {
+func (e *Engine) add(em Embedding) bool {
 	key := em.Key()
 	if _, ok := e.embeddings[key]; ok {
-		return
+		return false
 	}
 	e.embeddings[key] = em
 	for _, pe := range e.pedges {
@@ -53,6 +53,7 @@ func (e *Engine) add(em Embedding) {
 		}
 		e.edgeUse[edge][key] = true
 	}
+	return true
 }
 
 func (e *Engine) remove(key string) {
@@ -88,10 +89,18 @@ func (e *Engine) Embeddings() []Embedding {
 // must map at least one pattern edge onto the inserted edge — the search is
 // anchored there, once per pattern edge.
 func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
+	ok, _ := e.InsertDelta(v0, v1)
+	return ok
+}
+
+// InsertDelta is Insert additionally returning the embeddings the
+// insertion created — the ΔM of IncIsoMat's insertion case.
+func (e *Engine) InsertDelta(v0, v1 graph.NodeID) (bool, []Embedding) {
 	added, err := e.g.AddEdge(v0, v1)
 	if err != nil || !added {
-		return false
+		return false, nil
 	}
+	var newEms []Embedding
 	for _, pe := range e.pedges {
 		// A self-loop pattern edge can only map to a data self-loop, and a
 		// data self-loop can only host a self-loop pattern edge.
@@ -101,27 +110,38 @@ func (e *Engine) Insert(v0, v1 graph.NodeID) bool {
 		s := newSearch(e.p, e.g, 0)
 		s.run(map[int]graph.NodeID{pe.From: v0, pe.To: v1})
 		for _, em := range s.found {
-			e.add(em)
+			if e.add(em) {
+				newEms = append(newEms, em)
+			}
 		}
 	}
-	return true
+	return true, newEms
 }
 
 // Delete removes edge (v0, v1) and drops every embedding that used it.
 func (e *Engine) Delete(v0, v1 graph.NodeID) bool {
+	ok, _ := e.DeleteDelta(v0, v1)
+	return ok
+}
+
+// DeleteDelta is Delete additionally returning the embeddings the deletion
+// destroyed — the ΔM of IncIsoMat's deletion case.
+func (e *Engine) DeleteDelta(v0, v1 graph.NodeID) (bool, []Embedding) {
 	if !e.g.RemoveEdge(v0, v1) {
-		return false
+		return false, nil
 	}
+	var dropped []Embedding
 	if uses := e.edgeUse[[2]graph.NodeID{v0, v1}]; uses != nil {
 		keys := make([]string, 0, len(uses))
 		for k := range uses {
 			keys = append(keys, k)
 		}
 		for _, k := range keys {
+			dropped = append(dropped, e.embeddings[k])
 			e.remove(k)
 		}
 	}
-	return true
+	return true, dropped
 }
 
 // Apply processes a batch of updates one at a time.

@@ -1,0 +1,100 @@
+package rel
+
+import "gpm/internal/graph"
+
+// ChangeSet accumulates the internal match() mutations of one engine
+// write, with add/remove cancellation, so the write can report its visible
+// ΔM without diffing full relations. Both incremental engines share it:
+// arm one with NewChangeSet before mutating, record every removal and
+// promotion, and convert to the user-visible delta with End.
+//
+// All methods are nil-receiver safe, so recording sites need no guard for
+// the unarmed case (e.g. the engines' initial rebuild).
+type ChangeSet struct {
+	removed  map[Pair]struct{}
+	added    map[Pair]struct{}
+	wasTotal bool
+}
+
+// NewChangeSet arms a change-set against the pre-write relation (whose
+// totality decides how End interprets the accumulated changes).
+func NewChangeSet(current Relation) *ChangeSet {
+	return &ChangeSet{
+		removed:  make(map[Pair]struct{}),
+		added:    make(map[Pair]struct{}),
+		wasTotal: current.Total(),
+	}
+}
+
+// NoteRemoved records a match removal (cancelling a prior addition of the
+// same pair).
+func (c *ChangeSet) NoteRemoved(u int, v graph.NodeID) {
+	if c == nil {
+		return
+	}
+	p := Pair{U: u, V: v}
+	if _, ok := c.added[p]; ok {
+		delete(c.added, p)
+		return
+	}
+	c.removed[p] = struct{}{}
+}
+
+// NoteAdded records a match promotion (cancelling a prior removal of the
+// same pair).
+func (c *ChangeSet) NoteAdded(u int, v graph.NodeID) {
+	if c == nil {
+		return
+	}
+	p := Pair{U: u, V: v}
+	if _, ok := c.removed[p]; ok {
+		delete(c.removed, p)
+		return
+	}
+	c.added[p] = struct{}{}
+}
+
+// End converts the accumulated changes to the user-visible delta under the
+// totality convention: the visible result is match when every pattern node
+// has a match and ∅ otherwise, so a totality flip emits the whole old (or
+// new) relation. match must be the post-write relation. The returned delta
+// is sorted; it is empty exactly when the visible result did not change,
+// which is the caller's cue to keep any cached result snapshot.
+func (c *ChangeSet) End(match Relation) Delta {
+	if c == nil || (len(c.removed) == 0 && len(c.added) == 0) {
+		return Delta{}
+	}
+	isTotal := match.Total()
+	var d Delta
+	switch {
+	case c.wasTotal && isTotal:
+		for p := range c.removed {
+			d.Removed = append(d.Removed, p)
+		}
+		for p := range c.added {
+			d.Added = append(d.Added, p)
+		}
+	case c.wasTotal && !isTotal:
+		// Visible result collapsed to ∅: emit the entire old match,
+		// reconstructed as (current ∪ removed) \ added.
+		for u := range match {
+			for v := range match[u] {
+				if _, ok := c.added[Pair{U: u, V: v}]; !ok {
+					d.Removed = append(d.Removed, Pair{U: u, V: v})
+				}
+			}
+		}
+		for p := range c.removed {
+			d.Removed = append(d.Removed, p)
+		}
+	case !c.wasTotal && isTotal:
+		// ∅ → total: the entire new match becomes visible.
+		for u := range match {
+			for v := range match[u] {
+				d.Added = append(d.Added, Pair{U: u, V: v})
+			}
+		}
+	}
+	d.Sort()
+	return d
+}

@@ -200,6 +200,46 @@ func (r Relation) Diff(t Relation) (removed, added []Pair) {
 	return removed, added
 }
 
+// Delta is the change ΔM between two match relations: the pairs removed
+// from and added to the old relation. It is the unit the incremental
+// engines report per update and the continuous-query layer delivers to
+// subscribers — applying a Delta to the old relation yields the new one.
+type Delta struct {
+	Removed []Pair
+	Added   []Pair
+}
+
+// Empty reports whether the delta changes nothing.
+func (d Delta) Empty() bool { return len(d.Removed) == 0 && len(d.Added) == 0 }
+
+// Size returns |ΔM|, the number of changed pairs.
+func (d Delta) Size() int { return len(d.Removed) + len(d.Added) }
+
+// Apply mutates r to the post-delta relation: removals first, then
+// additions. r must be the relation the delta was computed against (or an
+// accumulation of all prior deltas since a snapshot).
+func (d Delta) Apply(r Relation) {
+	for _, p := range d.Removed {
+		r[p.U].Remove(p.V)
+	}
+	for _, p := range d.Added {
+		r[p.U].Add(p.V)
+	}
+}
+
+// Sort orders both pair lists canonically (by pattern node, then data
+// node), so deltas compare and serialize deterministically.
+func (d Delta) Sort() {
+	sortPairs(d.Removed)
+	sortPairs(d.Added)
+}
+
+// DeltaOf computes the delta from old to new: old ⊕ DeltaOf(old, new) = new.
+func DeltaOf(old, new Relation) Delta {
+	removed, added := old.Diff(new)
+	return Delta{Removed: removed, Added: added}
+}
+
 func sortPairs(ps []Pair) {
 	sort.Slice(ps, func(i, j int) bool {
 		if ps[i].U != ps[j].U {

@@ -169,3 +169,48 @@ func TestStringRepresentations(t *testing.T) {
 		t.Fatalf("Relation.String = %q", r.String())
 	}
 }
+
+func TestDeltaApplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		np := 1 + rng.Intn(4)
+		old := NewRelation(np)
+		new_ := NewRelation(np)
+		for u := 0; u < np; u++ {
+			for v := 0; v < 12; v++ {
+				if rng.Intn(2) == 0 {
+					old[u].Add(v)
+				}
+				if rng.Intn(2) == 0 {
+					new_[u].Add(v)
+				}
+			}
+		}
+		d := DeltaOf(old, new_)
+		got := old.Clone()
+		d.Apply(got)
+		if !got.Equal(new_) {
+			t.Fatalf("trial %d: old ⊕ DeltaOf(old,new) != new\nold=%v\nnew=%v\nΔ=%+v", trial, old, new_, d)
+		}
+		if d.Size() != len(d.Removed)+len(d.Added) {
+			t.Fatal("Size mismatch")
+		}
+		if d.Empty() != (len(d.Removed) == 0 && len(d.Added) == 0) {
+			t.Fatal("Empty mismatch")
+		}
+	}
+}
+
+func TestDeltaSortDeterministic(t *testing.T) {
+	d := Delta{
+		Removed: []Pair{{2, 5}, {0, 9}, {2, 1}},
+		Added:   []Pair{{1, 4}, {1, 0}},
+	}
+	d.Sort()
+	if !reflect.DeepEqual(d.Removed, []Pair{{0, 9}, {2, 1}, {2, 5}}) {
+		t.Fatalf("Removed = %v", d.Removed)
+	}
+	if !reflect.DeepEqual(d.Added, []Pair{{1, 0}, {1, 4}}) {
+		t.Fatalf("Added = %v", d.Added)
+	}
+}

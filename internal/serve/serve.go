@@ -1,0 +1,262 @@
+// Package serve is the HTTP surface of the continuous-query subsystem:
+// the handler behind cmd/gpserve. It wraps a contq.Registry with endpoints
+// to load a graph, register/unregister standing patterns, ingest edge
+// updates, read current results, and stream match deltas over Server-Sent
+// Events. Request and response bodies reuse the repository's text formats
+// (graph/pattern/update files) on the way in and JSON on the way out, so
+// the server composes with the existing CLI tools and curl alike.
+//
+//	Method  Path                    Body (in)        Effect
+//	------  ----------------------  ---------------  ------------------------------
+//	POST    /graph                  graph text       load graph, reset registry
+//	GET     /graph                  —                graph + registry stats
+//	PUT     /patterns/{id}?kind=K   pattern text     register standing pattern
+//	GET     /patterns               —                list registered patterns
+//	GET     /patterns/{id}/result   —                current match relation
+//	DELETE  /patterns/{id}          —                unregister, close streams
+//	POST    /updates                update text      commit batch, fan out deltas
+//	GET     /patterns/{id}/stream   —                SSE: snapshot, then deltas
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"gpm/internal/contq"
+	"gpm/internal/graph"
+	"gpm/internal/pattern"
+	"gpm/internal/rel"
+)
+
+// Server wraps a contq.Registry with the HTTP surface. Construct with New.
+type Server struct {
+	mu   sync.RWMutex // guards the registry pointer (swapped by POST /graph)
+	reg  *contq.Registry
+	opts []contq.Option // re-applied to every registry a graph swap creates
+	mux  *http.ServeMux
+}
+
+// New builds a server over an initially empty graph. POST /graph installs
+// a real one.
+func New(options ...contq.Option) *Server {
+	s := &Server{reg: contq.New(graph.New(), options...), opts: options}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /graph", s.loadGraph)
+	mux.HandleFunc("GET /graph", s.graphInfo)
+	mux.HandleFunc("PUT /patterns/{id}", s.register)
+	mux.HandleFunc("GET /patterns", s.listPatterns)
+	mux.HandleFunc("GET /patterns/{id}/result", s.result)
+	mux.HandleFunc("DELETE /patterns/{id}", s.unregister)
+	mux.HandleFunc("POST /updates", s.updates)
+	mux.HandleFunc("GET /patterns/{id}/stream", s.stream)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// registry returns the current registry under the swap lock.
+func (s *Server) registry() *contq.Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reg
+}
+
+// Close shuts the underlying registry down, ending all streams.
+func (s *Server) Close() { s.registry().Close() }
+
+// LoadGraph installs g behind a fresh registry — the in-process equivalent
+// of POST /graph. The server takes ownership of g; all previously
+// registered patterns and streams are dropped.
+func (s *Server) LoadGraph(g *graph.Graph) {
+	s.mu.Lock()
+	old := s.reg
+	s.reg = contq.New(g, s.opts...)
+	s.mu.Unlock()
+	old.Close()
+}
+
+// pairJSON is one (pattern node, data node) match pair on the wire.
+type pairJSON struct {
+	U int          `json:"u"`
+	V graph.NodeID `json:"v"`
+}
+
+func pairsJSON(ps []rel.Pair) []pairJSON {
+	out := make([]pairJSON, len(ps))
+	for i, p := range ps {
+		out[i] = pairJSON{U: p.U, V: p.V}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// loadGraph installs a freshly parsed graph behind a new registry,
+// dropping all registered patterns and subscriptions (standing queries are
+// defined against one graph; a new graph is a new world).
+func (s *Server) loadGraph(w http.ResponseWriter, r *http.Request) {
+	g, err := graph.Read(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.LoadGraph(g)
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": g.NumNodes(), "edges": g.NumEdges()})
+}
+
+func (s *Server) graphInfo(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry()
+	nodes, edges, seq := reg.GraphInfo()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes": nodes, "edges": edges, "seq": seq, "patterns": len(reg.Patterns()),
+	})
+}
+
+func (s *Server) register(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p, err := pattern.Parse(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	kind := contq.Kind(r.URL.Query().Get("kind"))
+	if kind == "" {
+		kind = contq.KindAuto
+	}
+	if err := s.registry().Register(id, p, kind); err != nil {
+		// Only a duplicate id is a conflict worth retrying under another
+		// name; bad kinds or kind/pattern mismatches are client errors.
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, contq.ErrAlreadyRegistered):
+			status = http.StatusConflict
+		case errors.Is(err, contq.ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id": id, "nodes": p.NumNodes(), "edges": p.NumEdges(),
+	})
+}
+
+func (s *Server) listPatterns(w http.ResponseWriter, r *http.Request) {
+	infos := s.registry().Patterns()
+	out := make([]map[string]any, 0, len(infos))
+	for _, in := range infos {
+		out = append(out, map[string]any{
+			"id": in.ID, "kind": in.Kind, "nodes": in.Nodes, "edges": in.Edges,
+			"subscribers": in.Subscribers, "result_size": in.ResultSize,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"patterns": out})
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry()
+	id := r.PathValue("id")
+	res, ok := reg.Result(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("pattern %q not registered", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": id, "seq": reg.Seq(), "size": res.Size(), "pairs": pairsJSON(res.Pairs()),
+	})
+}
+
+func (s *Server) unregister(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.registry().Unregister(id) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("pattern %q not registered", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "unregistered": true})
+}
+
+func (s *Server) updates(w http.ResponseWriter, r *http.Request) {
+	ups, err := graph.ReadUpdates(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	seq, err := s.registry().Apply(ups)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "updates": len(ups)})
+}
+
+// sseEvent writes one SSE frame and flushes it.
+func sseEvent(w http.ResponseWriter, f http.Flusher, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+		return err
+	}
+	f.Flush()
+	return nil
+}
+
+// stream serves the match-delta subscription over SSE: one "snapshot"
+// event carrying the full result and its commit sequence, then one
+// "delta" event per commit, in commit order, until the client disconnects
+// or the pattern is unregistered.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	id := r.PathValue("id")
+	sub, err := s.registry().Subscribe(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	snap := map[string]any{
+		"id": id, "seq": sub.Seq, "size": sub.Snapshot.Size(), "pairs": pairsJSON(sub.Snapshot.Pairs()),
+	}
+	if err := sseEvent(w, flusher, "snapshot", snap); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				return // pattern unregistered or server closing
+			}
+			frame := map[string]any{
+				"id": ev.Pattern, "seq": ev.Seq,
+				"added": pairsJSON(ev.Delta.Added), "removed": pairsJSON(ev.Delta.Removed),
+			}
+			if err := sseEvent(w, flusher, "delta", frame); err != nil {
+				return
+			}
+		}
+	}
+}
