@@ -1,0 +1,172 @@
+// Command benchdiff compares two gpbench -json runs and fails on elapsed
+// time regressions — the comparison step of the CI bench gate. Both inputs
+// are files of one JSON object per run (the gpbench -json format); runs
+// are matched by figure name.
+//
+// A figure regresses when its elapsed_ms exceeds the baseline by more than
+// -threshold (relative) AND by more than -min-ms (absolute); the absolute
+// floor keeps sub-millisecond figures from tripping the gate on scheduler
+// noise. Figures present on only one side are reported but never fail the
+// gate (the suite may grow).
+//
+// -normalize rescales the baseline by the median current/baseline ratio
+// before comparing, so a committed baseline measured on different hardware
+// still gates meaningfully: a uniformly faster or slower machine shifts
+// every figure alike and normalizes away, while a regression in one code
+// path stands out against the fleet. The tradeoff — a change slowing every
+// figure by the same factor is invisible in this mode — is the price of a
+// machine-portable baseline.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_run.json
+//	benchdiff -baseline old.json -current new.json -threshold 0.25 -min-ms 50 -normalize
+//
+// Exit status: 0 when no figure regresses, 1 on regression, 2 on bad input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// run mirrors the fields of gpbench's jsonRun that the gate needs.
+type run struct {
+	Figure    string  `json:"figure"`
+	Scale     float64 `json:"scale"`
+	Seed      int64   `json:"seed"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func readRuns(path string) (map[string]run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs := make(map[string]run)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var r run
+		if err := json.Unmarshal(text, &r); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if r.Figure == "" {
+			return nil, fmt.Errorf("%s:%d: run without figure name", path, line)
+		}
+		if prev, dup := runs[r.Figure]; dup {
+			// Keep the faster of duplicate runs (best-of-N baselines).
+			if r.ElapsedMS < prev.ElapsedMS {
+				runs[r.Figure] = r
+			}
+			continue
+		}
+		runs[r.Figure] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%s: no runs", path)
+	}
+	return runs, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline gpbench -json file")
+		current   = flag.String("current", "", "current gpbench -json file")
+		threshold = flag.Float64("threshold", 0.25, "relative elapsed_ms regression that fails the gate")
+		minMS     = flag.Float64("min-ms", 50, "absolute elapsed_ms slack: smaller deltas never fail")
+		normalize = flag.Bool("normalize", false, "rescale baseline by the median current/baseline ratio (cross-machine baselines)")
+	)
+	flag.Parse()
+	if *current == "" {
+		log.Println("missing -current")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := readRuns(*baseline)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	cur, err := readRuns(*current)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+
+	figures := make([]string, 0, len(cur))
+	for name := range cur {
+		figures = append(figures, name)
+	}
+	sort.Strings(figures)
+
+	scale := 1.0
+	if *normalize {
+		var ratios []float64
+		for name, c := range cur {
+			if b, ok := base[name]; ok && b.ElapsedMS > 0 {
+				ratios = append(ratios, c.ElapsedMS/b.ElapsedMS)
+			}
+		}
+		if len(ratios) >= 3 {
+			sort.Float64s(ratios)
+			scale = ratios[len(ratios)/2]
+			fmt.Printf("normalizing baseline by median ratio %.3f\n", scale)
+		} else {
+			log.Printf("too few common figures (%d) to normalize; comparing raw", len(ratios))
+		}
+	}
+
+	regressions := 0
+	fmt.Printf("%-8s %12s %12s %8s  %s\n", "figure", "base ms", "cur ms", "ratio", "verdict")
+	for _, name := range figures {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("%-8s %12s %12.1f %8s  new (no baseline)\n", name, "-", c.ElapsedMS, "-")
+			continue
+		}
+		if b.Scale != c.Scale || b.Seed != c.Seed {
+			log.Printf("%s: baseline ran at scale=%g seed=%d, current at scale=%g seed=%d — not comparable",
+				name, b.Scale, b.Seed, c.Scale, c.Seed)
+			os.Exit(2)
+		}
+		ref := b.ElapsedMS * scale
+		ratio := 0.0
+		if ref > 0 {
+			ratio = c.ElapsedMS / ref
+		}
+		verdict := "ok"
+		if c.ElapsedMS-ref > *minMS && c.ElapsedMS > ref*(1+*threshold) {
+			verdict = fmt.Sprintf("REGRESSION (>%d%%)", int(*threshold*100))
+			regressions++
+		}
+		fmt.Printf("%-8s %12.1f %12.1f %7.2fx  %s\n", name, ref, c.ElapsedMS, ratio, verdict)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("%-8s  (missing from current run)\n", name)
+		}
+	}
+	if regressions > 0 {
+		log.Printf("%d figure(s) regressed beyond %.0f%% + %.0fms", regressions, *threshold*100, *minMS)
+		os.Exit(1)
+	}
+}

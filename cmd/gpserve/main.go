@@ -14,13 +14,23 @@
 //	curl -X PUT --data-binary @p.pattern 'localhost:8080/patterns/watch?kind=auto'
 //	curl -N localhost:8080/patterns/watch/stream &
 //	curl -X POST --data-binary $'insert 3 7\ndelete 7 3\n' localhost:8080/updates
+//	curl localhost:8080/stats
+//
+// gpserve shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, the registry closes (which ends every SSE stream and lets
+// any in-flight commit drain), and remaining connections get a bounded
+// grace period before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gpm/internal/contq"
@@ -36,6 +46,7 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		gfile   = flag.String("graph", "", "optional graph file to load at startup")
 		workers = flag.Int("workers", 0, "fan-out worker goroutines per commit (0 = GOMAXPROCS)")
+		grace   = flag.Duration("grace", 10*time.Second, "graceful-shutdown grace period")
 	)
 	flag.Parse()
 
@@ -60,6 +71,35 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("listening on %s", *addr)
-	log.Fatal(httpSrv.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err) // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process immediately
+	log.Printf("shutting down (grace %s)", *grace)
+
+	// Close the registry first: it waits for any in-flight commit, then
+	// cancels every subscription, which unblocks the SSE handlers so
+	// Shutdown's connection drain below can actually finish.
+	srv.Close()
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("forced shutdown: %v", err)
+		httpSrv.Close() //nolint:errcheck // already exiting
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("bye")
 }

@@ -109,6 +109,13 @@ type (
 	MatchEvent = contq.Event
 	// EngineKind selects the engine backing a registered pattern.
 	EngineKind = contq.Kind
+	// RegistryStats is a point-in-time registry snapshot: pattern count,
+	// commit sequence, shared-graph size and the writer's coalescing
+	// counters (see Registry.Stats).
+	RegistryStats = contq.Stats
+	// GraphView is the read-only face of a data graph that matching
+	// engines read through; *Graph satisfies it.
+	GraphView = graph.View
 )
 
 // The engine kinds a standing pattern can be registered under.
@@ -213,10 +220,13 @@ func NewIncBSimEngineWithLandmarks(p *Pattern, g *Graph) (*IncBSimEngine, error)
 
 // NewRegistry builds a continuous-query registry over g, taking ownership
 // of it: register standing patterns with Register, commit edge updates
-// with Apply, and receive per-pattern match deltas through Subscribe. One
-// serialized writer fans each batch out to all engines in parallel;
-// readers and subscribers never block behind it. cmd/gpserve exposes the
-// same subsystem over HTTP.
+// with Apply, and receive per-pattern match deltas through Subscribe.
+// Every engine reads the ONE canonical graph through a private update
+// overlay (per-pattern memory is O(pattern-state), not a graph replica),
+// and the single writer coalesces concurrently queued Apply batches into
+// one commit with edge-level insert/delete cancellation; readers and
+// subscribers never block behind it. cmd/gpserve exposes the same
+// subsystem over HTTP.
 func NewRegistry(g *Graph) *Registry { return contq.New(g) }
 
 // NewIncIsoEngine builds the incremental subgraph-isomorphism engine

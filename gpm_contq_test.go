@@ -59,4 +59,16 @@ func TestRegistryFacade(t *testing.T) {
 	if !want.Has(pa, am2) {
 		t.Fatal("am2 should match after gaining a contact")
 	}
+
+	var st gpm.RegistryStats = reg.Stats()
+	if st.Patterns != 1 || st.Seq != 1 || st.Commits != 1 || st.Applies != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Nodes != g.NumNodes() || st.Edges != g.NumEdges() {
+		t.Fatalf("stats graph size = %+v", st)
+	}
+
+	// The engines read the registry's graph through gpm.GraphView — the
+	// façade alias compiles against *Graph.
+	var _ gpm.GraphView = g
 }

@@ -1,28 +1,47 @@
 // Package contq implements the continuous-query layer that turns the
-// incremental engines into a serving system: a Registry owns a canonical
-// data graph and any number of standing patterns, each backed by the
-// incremental engine matching its kind (incsim for normal patterns,
-// incbsim for b-patterns, iso for subgraph isomorphism) over a private
-// replica of the graph. A single serialized writer ingests edge-update
-// batches, fans each batch out to all engines in parallel (internal/par),
-// and publishes per-pattern match deltas ΔM — not full results — to
-// channel subscribers in commit order, the production shape of incremental
-// view maintenance (standing queries registered once, update streams
-// fanned out, deltas pushed).
+// incremental engines into a serving system: a Registry owns ONE shared
+// canonical data graph and any number of standing patterns, each backed by
+// the incremental engine matching its kind (incsim for normal patterns,
+// incbsim for b-patterns, iso for subgraph isomorphism) reading that graph
+// through a read-only graph.View. A single serialized writer ingests
+// edge-update batches, coalesces queued batches into one commit, fans the
+// effective updates out to all engines in parallel (internal/par), applies
+// them to the canonical graph exactly once, and publishes per-pattern
+// match deltas ΔM — not full results — to channel subscribers in commit
+// order, the production shape of incremental view maintenance (standing
+// queries registered once, update streams fanned out, deltas pushed).
+//
+// Memory model: engines never clone the graph. Each engine repairs through
+// a private graph.Overlay — an O(|ΔG|-per-batch) diff over the shared base
+// that absorbs the repair's own mutations and is discarded when the
+// registry commits the batch to the canonical graph. Per-pattern memory is
+// therefore O(pattern-state): the engine's match/candidate/counter
+// structures, not O(|G|) replicas (the shared-host-graph organisation of
+// RETE-style incremental query engines).
+//
+// Batch coalescing: Apply enqueues the caller's batch and the first
+// enqueuer becomes the drainer — every batch queued while a commit is in
+// flight is merged into the next commit. Within one drain, updates cancel
+// at the edge level (an insert and a delete of the same edge annihilate;
+// updates restating the graph's current state vanish), so the engines see
+// only the net effective ΔG. Each caller still gets its own completion —
+// its commit's sequence number or its own validation error — and
+// subscribers see exactly one event per commit with consecutive sequence
+// numbers, so snapshot ⊕ deltas still reproduces Result().
 //
 // Concurrency contract:
 //
-//   - Apply, Register, Unregister, Subscribe and Close serialize on one
+//   - Commits, Register, Unregister, Subscribe and Close serialize on one
 //     writer lock, so every subscriber observes the same totally-ordered
 //     commit sequence and a subscription's starting snapshot is atomic
 //     with respect to commits.
-//   - Readers (Result, Patterns, GraphInfo) never take the writer lock:
-//     they read through the engines' lock-free cached snapshots, so reads
-//     between updates are allocation-free and never block behind a writer.
-//   - Each engine repairs a private clone of the graph, which is what
-//     makes the per-batch fan-out embarrassingly parallel: engines never
-//     share mutable state. The memory price is one graph replica per
-//     registered pattern.
+//   - Readers (Result, Patterns, GraphInfo, Stats) never take the writer
+//     lock: they read through the engines' lock-free cached snapshots, so
+//     reads between updates are allocation-free and never block behind a
+//     writer.
+//   - During a commit's fan-out the canonical graph is immutable (engines
+//     read it concurrently; their overlays are private), and it is mutated
+//     only after every engine has returned.
 package contq
 
 import (
@@ -119,14 +138,38 @@ func (r *registration) numSubs() int {
 // Construct with New; the Registry takes ownership of the graph (apply
 // updates only through Apply).
 type Registry struct {
-	writeMu sync.Mutex   // serializes Apply/Register/Unregister/Subscribe/Close
-	mu      sync.RWMutex // guards pats, g and seq for fast readers
-	g       *graph.Graph
+	writeMu sync.Mutex   // serializes commits/Register/Unregister/Subscribe/Close
+	mu      sync.RWMutex // guards pats, g, seq and counters for fast readers
+	g       *graph.Graph // the ONE canonical graph all engines read through
 	pats    map[string]*registration
 	seq     uint64
 	workers int // fan-out parallelism across engines (0 = default)
 	engineW int // worker count handed to each engine's internal sweeps
 	closed  bool
+
+	// Writer queue: Apply enqueues and the first enqueuer drains, so
+	// batches arriving while a commit is in flight coalesce into the next
+	// commit. queue non-empty implies draining (the drainer only exits
+	// once it sees an empty queue under qmu).
+	qmu      sync.Mutex
+	queue    []*applyReq
+	draining bool
+
+	// Cumulative writer counters, written inside the commit's r.mu
+	// critical section and read by Stats.
+	commits      uint64 // committed drains (each advanced seq by one)
+	applies      uint64 // Apply calls admitted into commits
+	upsSubmitted uint64 // updates admitted before coalescing
+	upsApplied   uint64 // effective updates after coalescing
+}
+
+// applyReq is one caller's queued Apply: its batch on the way in, its
+// commit seq or validation error on the way out.
+type applyReq struct {
+	ups  []graph.Update
+	seq  uint64
+	err  error
+	done chan struct{}
 }
 
 // Option configures a Registry.
@@ -179,9 +222,10 @@ func (r *Registry) Register(id string, p *pattern.Pattern, kind Kind) error {
 			kind = KindBSim
 		}
 	}
-	// Each engine owns a private replica of the canonical graph: replicas
-	// are what let one commit repair all engines in parallel.
-	m, err := newMatcher(kind, p, r.g.Clone(), r.engineW)
+	// Engines share the canonical graph: each reads it through a private
+	// update overlay, so registering P patterns costs P × pattern-state,
+	// not P graph clones.
+	m, err := newMatcher(kind, p, r.g, r.engineW)
 	if err != nil {
 		return err
 	}
@@ -217,44 +261,185 @@ func (r *Registry) Unregister(id string) bool {
 	return true
 }
 
-// Apply commits one batch of edge updates: it validates the endpoints,
-// fans the batch out to every engine in parallel, applies it to the
-// canonical graph, and publishes each pattern's ΔM to its subscribers
-// under the new commit sequence number. Batches are serialized — there is
-// exactly one commit order, and every subscriber sees it.
+// Apply submits one batch of edge updates and blocks until the commit
+// containing it completes, returning that commit's sequence number. The
+// batch is validated independently of any other caller's (an invalid
+// batch gets its own error and poisons nothing).
+//
+// Batches queued while a commit is in flight coalesce into the next
+// commit: their updates are concatenated in arrival order and cancelled
+// at the edge level (insert/delete pairs of the same edge annihilate;
+// updates restating the graph's current state vanish), then the net
+// effective ΔG is fanned out to every engine in parallel and applied to
+// the canonical graph exactly once. Each commit — even one whose batch
+// cancelled to nothing — advances the sequence by one and publishes one
+// event per pattern, so subscribers see consecutive sequence numbers and
+// snapshot ⊕ deltas keeps reproducing Result().
 func (r *Registry) Apply(ups []graph.Update) (uint64, error) {
+	req := &applyReq{ups: ups, done: make(chan struct{})}
+	r.qmu.Lock()
+	if r.draining {
+		// A drainer is active; it (or its successor) picks this up.
+		r.queue = append(r.queue, req)
+		r.qmu.Unlock()
+	} else {
+		r.queue = append(r.queue, req)
+		r.draining = true
+		r.qmu.Unlock()
+		// The first enqueuer commits the batch containing its own request
+		// synchronously; work queued behind that commit continues on a
+		// background drainer, so no caller is ever held past its own
+		// commit.
+		r.drainStep(true)
+	}
+	<-req.done
+	return req.seq, req.err
+}
+
+// drainStep commits one drained batch. Call with r.draining already true
+// and r.qmu released. If more batches queued up during the commit, the
+// drain continues on a background goroutine (bounding every caller's
+// latency at one commit); otherwise the draining flag clears. A panicking
+// commit must not wedge the writer: queued requests are failed, the flag
+// clears, and the panic propagates to the synchronous caller (propagate
+// true) or is converted into the waiters' errors on a background drainer
+// (propagate false), where re-panicking would kill the process.
+func (r *Registry) drainStep(propagate bool) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		err := fmt.Errorf("contq: commit panicked: %v", rec)
+		r.qmu.Lock()
+		pending := r.queue
+		r.queue = nil
+		r.draining = false
+		r.qmu.Unlock()
+		for _, q := range pending {
+			q.err = err
+			close(q.done)
+		}
+		if propagate {
+			panic(rec)
+		}
+	}()
+	r.qmu.Lock()
+	batch := r.queue
+	r.queue = nil
+	r.qmu.Unlock()
+	r.commit(batch)
+	r.qmu.Lock()
+	if len(r.queue) == 0 {
+		r.draining = false
+		r.qmu.Unlock()
+		return
+	}
+	r.qmu.Unlock()
+	go r.drainStep(false)
+}
+
+// validate checks one caller's batch against the canonical graph. Called
+// under writeMu (node ids are append-only, so a batch valid now stays
+// valid for the rest of the commit).
+func (r *Registry) validate(ups []graph.Update) error {
+	for _, up := range ups {
+		if up.Op != graph.InsertEdge && up.Op != graph.DeleteEdge {
+			return fmt.Errorf("contq: update %v has unknown op %d", up, up.Op)
+		}
+		if !r.g.HasNode(up.From) || !r.g.HasNode(up.To) {
+			return fmt.Errorf("contq: update %v references a node outside the graph", up)
+		}
+	}
+	return nil
+}
+
+// commit validates, coalesces and commits one drained batch of Apply
+// requests under the writer lock, then reports each caller's outcome. The
+// edge-level cancellation (insert/delete pairs of the same edge inside
+// one drain annihilate; restatements of the current graph state vanish)
+// is graph.NetUpdates — the same minDelta reduction the engines use.
+func (r *Registry) commit(batch []*applyReq) {
+	defer func() {
+		rec := recover()
+		if rec != nil {
+			// An engine repair panicked mid-fan-out: no sequence number was
+			// assigned, so tell every caller still in flight what happened
+			// before unblocking it.
+			err := fmt.Errorf("contq: commit panicked: %v", rec)
+			for _, req := range batch {
+				if req.err == nil && req.seq == 0 {
+					req.err = err
+				}
+			}
+		}
+		for _, req := range batch {
+			close(req.done)
+		}
+		if rec != nil {
+			panic(rec)
+		}
+	}()
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 	if r.closed {
-		return 0, ErrClosed
-	}
-	for _, up := range ups {
-		if up.Op != graph.InsertEdge && up.Op != graph.DeleteEdge {
-			return r.seq, fmt.Errorf("contq: update %v has unknown op %d", up, up.Op)
+		for _, req := range batch {
+			req.err = ErrClosed
 		}
-		if !r.g.HasNode(up.From) || !r.g.HasNode(up.To) {
-			return r.seq, fmt.Errorf("contq: update %v references a node outside the graph", up)
-		}
+		return
 	}
+	// Per-caller validation: a bad batch fails alone, the rest commit.
+	valid := make([]*applyReq, 0, len(batch))
+	var combined []graph.Update
+	for _, req := range batch {
+		if err := r.validate(req.ups); err != nil {
+			req.seq, req.err = r.seq, err
+			continue
+		}
+		valid = append(valid, req)
+		combined = append(combined, req.ups...)
+	}
+	if len(valid) == 0 {
+		return
+	}
+	effective := graph.NetUpdates(r.g, combined)
+
+	// Fan the effective ΔG out to every engine: they read the canonical
+	// graph (immutable until below) through private overlays, so repairs
+	// run in parallel without sharing mutable state.
 	regs := r.snapshotRegs()
 	deltas := make([]rel.Delta, len(regs))
-	par.For(len(regs), r.workers, func(_, i int) {
-		deltas[i] = regs[i].m.apply(ups)
-	})
+	if len(effective) > 0 {
+		par.For(len(regs), r.workers, func(_, i int) {
+			deltas[i] = regs[i].m.apply(effective)
+		})
+	}
+
 	r.mu.Lock()
-	if _, err := r.g.ApplyAll(ups); err != nil {
-		// Unreachable after validation; restore nothing (replicas already
-		// advanced) but surface the error loudly.
-		r.mu.Unlock()
-		return r.seq, fmt.Errorf("contq: canonical graph diverged: %w", err)
+	if len(effective) > 0 {
+		if _, err := r.g.ApplyAll(effective); err != nil {
+			// Unreachable after validation + coalescing; surface loudly.
+			r.mu.Unlock()
+			err = fmt.Errorf("contq: canonical graph diverged: %w", err)
+			for _, req := range valid {
+				req.seq, req.err = r.seq, err
+			}
+			return
+		}
 	}
 	r.seq++
 	seq := r.seq
+	r.commits++
+	r.applies += uint64(len(valid))
+	r.upsSubmitted += uint64(len(combined))
+	r.upsApplied += uint64(len(effective))
 	r.mu.Unlock()
 	for i, reg := range regs {
 		reg.publish(Event{Pattern: reg.id, Seq: seq, Delta: deltas[i]})
 	}
-	return seq, nil
+	for _, req := range valid {
+		req.seq = seq
+	}
 }
 
 func (r *Registry) snapshotRegs() []*registration {
@@ -343,6 +528,48 @@ func (r *Registry) Seq() uint64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.seq
+}
+
+// Stats is a point-in-time snapshot of the registry: the shared canonical
+// graph's size, the commit sequence, and the writer's cumulative
+// coalescing counters.
+type Stats struct {
+	Patterns int    `json:"patterns"`
+	Seq      uint64 `json:"seq"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	// Commits counts committed drains; each advanced Seq by one.
+	Commits uint64 `json:"commits"`
+	// Applies counts Apply calls admitted into commits; Applies - Commits
+	// is the number of Apply calls absorbed by coalescing.
+	Applies uint64 `json:"applies"`
+	// CoalescedApplies = Applies - Commits: Apply calls that shared a
+	// commit with another caller instead of paying their own fan-out.
+	CoalescedApplies uint64 `json:"coalesced_applies"`
+	// UpdatesSubmitted / UpdatesApplied count unit updates before and
+	// after edge-level cancellation; the difference is UpdatesCancelled.
+	UpdatesSubmitted uint64 `json:"updates_submitted"`
+	UpdatesApplied   uint64 `json:"updates_applied"`
+	UpdatesCancelled uint64 `json:"updates_cancelled"`
+}
+
+// Stats returns the registry's current statistics without blocking behind
+// writers.
+func (r *Registry) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return Stats{
+		Patterns:         len(r.pats),
+		Seq:              r.seq,
+		Nodes:            r.g.NumNodes(),
+		Edges:            r.g.NumEdges(),
+		Commits:          r.commits,
+		Applies:          r.applies,
+		CoalescedApplies: r.applies - r.commits,
+		UpdatesSubmitted: r.upsSubmitted,
+		UpdatesApplied:   r.upsApplied,
+		UpdatesCancelled: r.upsSubmitted - r.upsApplied,
+	}
 }
 
 // Close unregisters every pattern and cancels all subscriptions; further

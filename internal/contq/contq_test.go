@@ -137,6 +137,11 @@ func TestConcurrentSubscribersAndWriters(t *testing.T) {
 	var wg sync.WaitGroup
 	errs := make(chan error, nSubs+2)
 
+	// Racing writers may coalesce into fewer commits than Apply calls, so
+	// subscribers cannot count events; they read until the final sequence
+	// number, published here once all writers are done.
+	finalSeq := make(chan uint64)
+
 	for i := 0; i < nSubs; i++ {
 		id := "sim"
 		if i%2 == 1 {
@@ -151,7 +156,8 @@ func TestConcurrentSubscribersAndWriters(t *testing.T) {
 			defer wg.Done()
 			acc := sub.Snapshot.Clone()
 			last := sub.Seq
-			for n := 0; n < nBatches; n++ {
+			end := <-finalSeq
+			for last < end {
 				ev, ok := <-sub.C
 				if !ok {
 					errs <- fmt.Errorf("stream closed early")
@@ -206,11 +212,19 @@ func TestConcurrentSubscribersAndWriters(t *testing.T) {
 		}(w)
 	}
 	wwg.Wait()
+	end := reg.Seq()
+	for i := 0; i < nSubs; i++ {
+		finalSeq <- end
+	}
 	close(stop)
 	wg.Wait()
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+	st := reg.Stats()
+	if st.Applies != nBatches || st.Commits == 0 || st.Commits > st.Applies || st.Seq != st.Commits {
+		t.Fatalf("writer stats inconsistent: %+v", st)
 	}
 	reg.Close()
 }

@@ -14,28 +14,33 @@ import (
 )
 
 // matcher adapts one engine kind to the registry: apply repairs the
-// engine's private graph replica and reports the visible ΔM; result
-// returns the current match as a shared immutable snapshot. apply calls
-// are serialized by the registry's writer lock (one in flight per matcher)
-// but run concurrently with result on other goroutines, so every matcher
-// must support that overlap.
+// engine's match against base ⊕ ups — reading the shared canonical graph
+// through the engine's private update overlay — and reports the visible
+// ΔM; result returns the current match as a shared immutable snapshot.
+// After apply returns, the engine has discarded its overlay diff, so the
+// registry must commit the same updates to the canonical graph before the
+// next apply (the shared-storage protocol). apply calls are serialized by
+// the registry's writer lock (one in flight per matcher) but run
+// concurrently with result on other goroutines, so every matcher must
+// support that overlap.
 type matcher interface {
 	apply(ups []graph.Update) rel.Delta
 	result() rel.Relation
 }
 
-// newMatcher builds the engine for a kind over the pattern's private graph
-// replica.
-func newMatcher(kind Kind, p *pattern.Pattern, g *graph.Graph, workers int) (matcher, error) {
+// newMatcher builds the engine for a kind over the shared base view. No
+// graph replica is allocated: per-pattern memory is the engine's auxiliary
+// state plus an empty O(|ΔG|-per-batch) overlay.
+func newMatcher(kind Kind, p *pattern.Pattern, base graph.View, workers int) (matcher, error) {
 	switch kind {
 	case KindSim:
-		eng, err := incsim.New(p, g, incsim.WithWorkers(workers))
+		eng, err := incsim.NewShared(p, base, incsim.WithWorkers(workers))
 		if err != nil {
 			return nil, err
 		}
 		return simMatcher{eng}, nil
 	case KindBSim:
-		eng, err := incbsim.New(p, g, incbsim.WithWorkers(workers))
+		eng, err := incbsim.NewShared(p, base, incbsim.WithWorkers(workers))
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +52,7 @@ func newMatcher(kind Kind, p *pattern.Pattern, g *graph.Graph, workers int) (mat
 		if p.HasColors() {
 			return nil, fmt.Errorf("contq: iso patterns cannot be colored")
 		}
-		return newIsoMatcher(p, g), nil
+		return newIsoMatcher(p, base), nil
 	default:
 		return nil, fmt.Errorf("contq: unknown engine kind %q", kind)
 	}
@@ -88,8 +93,8 @@ type isoMatcher struct {
 	snap atomic.Pointer[rel.Relation]
 }
 
-func newIsoMatcher(p *pattern.Pattern, g *graph.Graph) *isoMatcher {
-	m := &isoMatcher{eng: iso.NewEngine(p, g), np: p.NumNodes(), ref: make(map[rel.Pair]int)}
+func newIsoMatcher(p *pattern.Pattern, base graph.View) *isoMatcher {
+	m := &isoMatcher{eng: iso.NewEngineShared(p, base), np: p.NumNodes(), ref: make(map[rel.Pair]int)}
 	for _, em := range m.eng.Embeddings() {
 		for u, v := range em {
 			m.ref[rel.Pair{U: u, V: v}]++
@@ -141,6 +146,9 @@ func (m *isoMatcher) apply(ups []graph.Update) rel.Delta {
 			}
 		}
 	}
+	// End of batch: discard the engine's overlay diff (the registry commits
+	// the same updates to the canonical graph once all engines return).
+	m.eng.Commit()
 	var d rel.Delta
 	for pr, b := range before {
 		now := m.ref[pr]

@@ -7,7 +7,7 @@ import "gpm/internal/graph"
 // preprocessing and no maintenance under updates, which is why the paper
 // uses "Match with BFS" for its large-graph scalability runs (Fig. 17(c,d)).
 type BFS struct {
-	g *graph.Graph
+	g graph.View
 	// scratch buffers reused across queries to avoid per-query allocation.
 	dist  []int
 	seen  []int32
@@ -16,8 +16,9 @@ type BFS struct {
 }
 
 // NewBFS returns a BFS oracle over g. The oracle reads g live: updates to g
-// are immediately visible (and invalidate nothing).
-func NewBFS(g *graph.Graph) *BFS {
+// are immediately visible (and invalidate nothing). Any graph.View works —
+// in particular a shared canonical graph or an engine's update overlay.
+func NewBFS(g graph.View) *BFS {
 	return &BFS{g: g}
 }
 

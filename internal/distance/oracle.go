@@ -31,7 +31,7 @@ type Iterator interface {
 // NonemptyDist returns the length of the shortest nonempty path from u to v:
 // Dist(u, v) when u != v, and the girth through u (shortest cycle containing
 // u) when u == v. This is the "len(π) >= 1" semantics of pattern-edge bounds.
-func NonemptyDist(o Oracle, g *graph.Graph, u, v graph.NodeID) int {
+func NonemptyDist(o Oracle, g graph.View, u, v graph.NodeID) int {
 	if u != v {
 		return o.Dist(u, v)
 	}

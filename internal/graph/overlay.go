@@ -1,0 +1,207 @@
+package graph
+
+import "fmt"
+
+// Overlay is a Mutable view over a shared read-only base: edge insertions
+// and deletions land in a private diff of size O(|ΔG|) while every read
+// sees base ⊕ diff. It is the mechanism that lets an incremental engine
+// run its repair algorithm — which interleaves reads of old and new graph
+// states with the mutations themselves — against a canonical graph it does
+// not own: the engine writes into its overlay during the repair, and once
+// the owner commits the same updates to the base, Reset discards the diff.
+//
+// Contract with the base owner: after every repair call that mutated the
+// overlay, the owner must apply exactly those effective updates to the
+// base before the next repair (contq's Registry commits the batch right
+// after the engine fan-out). The overlay itself is not safe for concurrent
+// mutation; concurrent reads are safe while no one is writing to either
+// the overlay or the base.
+type Overlay struct {
+	base    View
+	added   map[[2]NodeID]struct{}
+	removed map[[2]NodeID]struct{}
+	// unlabeled records base edges removed at some point in this
+	// generation: like Graph.RemoveEdge, removal drops the label, so a
+	// re-added edge comes back unlabeled even though reads otherwise fall
+	// through to the base.
+	unlabeled map[[2]NodeID]struct{}
+	// out/in memoize the adjusted adjacency of nodes the diff touches;
+	// untouched nodes read straight through to the base. Slices are built
+	// once per touched node (copy of the base slice) and patched in place.
+	out map[NodeID][]NodeID
+	in  map[NodeID][]NodeID
+	dm  int // NumEdges delta
+}
+
+// NewOverlay returns an empty overlay over base.
+func NewOverlay(base View) *Overlay {
+	return &Overlay{
+		base:      base,
+		added:     make(map[[2]NodeID]struct{}),
+		removed:   make(map[[2]NodeID]struct{}),
+		unlabeled: make(map[[2]NodeID]struct{}),
+		out:       make(map[NodeID][]NodeID),
+		in:        make(map[NodeID][]NodeID),
+	}
+}
+
+// Base returns the view the overlay reads through.
+func (o *Overlay) Base() View { return o.base }
+
+// Pending returns the number of edge changes the diff currently holds.
+func (o *Overlay) Pending() int { return len(o.added) + len(o.removed) }
+
+// Reset discards the diff: the overlay becomes a transparent view of the
+// base again. Call it after the base owner has committed the updates the
+// overlay absorbed.
+func (o *Overlay) Reset() {
+	clear(o.added)
+	clear(o.removed)
+	clear(o.unlabeled)
+	clear(o.out)
+	clear(o.in)
+	o.dm = 0
+}
+
+// NumNodes returns |V| (nodes are append-only and owned by the base).
+func (o *Overlay) NumNodes() int { return o.base.NumNodes() }
+
+// NumEdges returns |E| of base ⊕ diff.
+func (o *Overlay) NumEdges() int { return o.base.NumEdges() + o.dm }
+
+// HasNode reports whether v is a valid node identifier.
+func (o *Overlay) HasNode(v NodeID) bool { return o.base.HasNode(v) }
+
+// Attrs returns the attribute tuple of node v.
+func (o *Overlay) Attrs(v NodeID) Tuple { return o.base.Attrs(v) }
+
+// HasEdge reports whether (u, v) is present in base ⊕ diff.
+func (o *Overlay) HasEdge(u, v NodeID) bool {
+	key := [2]NodeID{u, v}
+	if _, ok := o.added[key]; ok {
+		return true
+	}
+	if _, ok := o.removed[key]; ok {
+		return false
+	}
+	return o.base.HasEdge(u, v)
+}
+
+// EdgeLabel returns the label of (u, v): overlay-added edges are
+// unlabeled, and an edge that was removed in this generation — even one
+// later re-added — masks the base's label, mirroring Graph.RemoveEdge
+// dropping labels.
+func (o *Overlay) EdgeLabel(u, v NodeID) string {
+	key := [2]NodeID{u, v}
+	if _, ok := o.added[key]; ok {
+		return ""
+	}
+	if _, ok := o.removed[key]; ok {
+		return ""
+	}
+	if _, ok := o.unlabeled[key]; ok {
+		return ""
+	}
+	return o.base.EdgeLabel(u, v)
+}
+
+// outFor returns the memoized out-adjacency of v, materializing it from
+// the base on first touch.
+func (o *Overlay) outFor(v NodeID) []NodeID {
+	if s, ok := o.out[v]; ok {
+		return s
+	}
+	s := append([]NodeID(nil), o.base.Out(v)...)
+	o.out[v] = s
+	return s
+}
+
+func (o *Overlay) inFor(v NodeID) []NodeID {
+	if s, ok := o.in[v]; ok {
+		return s
+	}
+	s := append([]NodeID(nil), o.base.In(v)...)
+	o.in[v] = s
+	return s
+}
+
+// Out returns the out-neighbours of v in base ⊕ diff. The slice is owned
+// by the overlay (or the base when v is untouched): do not mutate or
+// retain it across updates.
+func (o *Overlay) Out(v NodeID) []NodeID {
+	if s, ok := o.out[v]; ok {
+		return s
+	}
+	return o.base.Out(v)
+}
+
+// In returns the in-neighbours of v in base ⊕ diff. Same ownership rules
+// as Out.
+func (o *Overlay) In(v NodeID) []NodeID {
+	if s, ok := o.in[v]; ok {
+		return s
+	}
+	return o.base.In(v)
+}
+
+// OutDegree returns the number of children of v.
+func (o *Overlay) OutDegree(v NodeID) int { return len(o.Out(v)) }
+
+// InDegree returns the number of parents of v.
+func (o *Overlay) InDegree(v NodeID) int { return len(o.In(v)) }
+
+// Degree returns in-degree + out-degree of v.
+func (o *Overlay) Degree(v NodeID) int { return len(o.Out(v)) + len(o.In(v)) }
+
+// AddEdge inserts (u, v) into the diff, mirroring Graph.AddEdge semantics.
+func (o *Overlay) AddEdge(u, v NodeID) (added bool, err error) {
+	if !o.HasNode(u) || !o.HasNode(v) {
+		return false, fmt.Errorf("graph: overlay AddEdge(%d, %d): node out of range [0, %d)", u, v, o.NumNodes())
+	}
+	if o.HasEdge(u, v) {
+		return false, nil
+	}
+	key := [2]NodeID{u, v}
+	if _, wasRemoved := o.removed[key]; wasRemoved {
+		delete(o.removed, key)
+	} else {
+		o.added[key] = struct{}{}
+	}
+	o.out[u] = append(o.outFor(u), v)
+	o.in[v] = append(o.inFor(v), u)
+	o.dm++
+	return true, nil
+}
+
+// RemoveEdge deletes (u, v) from the diff, reporting whether it existed in
+// base ⊕ diff.
+func (o *Overlay) RemoveEdge(u, v NodeID) bool {
+	if !o.HasEdge(u, v) {
+		return false
+	}
+	key := [2]NodeID{u, v}
+	if _, wasAdded := o.added[key]; wasAdded {
+		delete(o.added, key)
+	} else {
+		o.removed[key] = struct{}{}
+		o.unlabeled[key] = struct{}{}
+	}
+	o.out[u] = removeOne(o.outFor(u), v)
+	o.in[v] = removeOne(o.inFor(v), u)
+	o.dm--
+	return true
+}
+
+// Apply executes a single update, mirroring Graph.Apply.
+func (o *Overlay) Apply(u Update) (changed bool, err error) {
+	switch u.Op {
+	case InsertEdge:
+		return o.AddEdge(u.From, u.To)
+	case DeleteEdge:
+		return o.RemoveEdge(u.From, u.To), nil
+	default:
+		return false, fmt.Errorf("graph: unknown update op %d", u.Op)
+	}
+}
+
+var _ Mutable = (*Overlay)(nil)

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortedCopy returns a sorted copy of an adjacency slice for comparison.
+func sortedCopy(s []NodeID) []NodeID {
+	c := append([]NodeID(nil), s...)
+	sort.Ints(c)
+	return c
+}
+
+func equalAdj(a, b []NodeID) bool {
+	a, b = sortedCopy(a), sortedCopy(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertSameView checks every View observation agrees between got and want.
+func assertSameView(t *testing.T, got, want View) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("NumNodes: %d != %d", got.NumNodes(), want.NumNodes())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("NumEdges: %d != %d", got.NumEdges(), want.NumEdges())
+	}
+	n := want.NumNodes()
+	for v := 0; v < n; v++ {
+		if !equalAdj(got.Out(v), want.Out(v)) {
+			t.Fatalf("Out(%d): %v != %v", v, got.Out(v), want.Out(v))
+		}
+		if !equalAdj(got.In(v), want.In(v)) {
+			t.Fatalf("In(%d): %v != %v", v, got.In(v), want.In(v))
+		}
+		if got.OutDegree(v) != want.OutDegree(v) || got.InDegree(v) != want.InDegree(v) || got.Degree(v) != want.Degree(v) {
+			t.Fatalf("degrees of %d disagree", v)
+		}
+		for w := 0; w < n; w++ {
+			if got.HasEdge(v, w) != want.HasEdge(v, w) {
+				t.Fatalf("HasEdge(%d,%d): %v != %v", v, w, got.HasEdge(v, w), want.HasEdge(v, w))
+			}
+			if got.EdgeLabel(v, w) != want.EdgeLabel(v, w) {
+				t.Fatalf("EdgeLabel(%d,%d): %q != %q", v, w, got.EdgeLabel(v, w), want.EdgeLabel(v, w))
+			}
+		}
+	}
+}
+
+// TestOverlayEquivalence drives an overlay and a mutable clone with the
+// same random update stream and checks every View observation agrees, then
+// that Reset restores transparency over the (unchanged) base.
+func TestOverlayEquivalence(t *testing.T) {
+	const n = 12
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := New()
+		for i := 0; i < n; i++ {
+			base.AddNode(nil)
+		}
+		for i := 0; i < 3*n; i++ {
+			base.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		base.SetEdgeLabel(base.EdgeList()[0][0], base.EdgeList()[0][1], "seedlabel")
+		frozen := base.Clone() // the base must never change under overlay writes
+
+		ov := NewOverlay(base)
+		mirror := base.Clone()
+		for i := 0; i < 6*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				a1, err1 := ov.AddEdge(u, v)
+				a2, err2 := mirror.AddEdge(u, v)
+				if a1 != a2 || (err1 == nil) != (err2 == nil) {
+					t.Fatalf("AddEdge(%d,%d) outcome diverged", u, v)
+				}
+			} else {
+				if ov.RemoveEdge(u, v) != mirror.RemoveEdge(u, v) {
+					t.Fatalf("RemoveEdge(%d,%d) outcome diverged", u, v)
+				}
+			}
+		}
+		// Overlay-added edges are unlabeled; mirror labels stay only on
+		// surviving base edges, which the overlay reads through — compare
+		// everything except labels of edges the overlay re-added.
+		if got, want := ov.NumEdges(), mirror.NumEdges(); got != want {
+			t.Fatalf("seed %d: NumEdges %d != %d", seed, got, want)
+		}
+		for v := 0; v < n; v++ {
+			if !equalAdj(ov.Out(v), mirror.Out(v)) || !equalAdj(ov.In(v), mirror.In(v)) {
+				t.Fatalf("seed %d: adjacency of %d diverged", seed, v)
+			}
+		}
+		assertSameView(t, base, frozen) // writes never leak into the base
+
+		ov.Reset()
+		if ov.Pending() != 0 {
+			t.Fatalf("Pending after Reset = %d", ov.Pending())
+		}
+		assertSameView(t, ov, base)
+	}
+}
+
+// TestOverlayMasksRemovedLabels checks a removed base edge hides its label
+// and a re-added one comes back unlabeled.
+func TestOverlayMasksRemovedLabels(t *testing.T) {
+	g := New()
+	a, b := g.AddNode(nil), g.AddNode(nil)
+	if _, err := g.AddLabeledEdge(a, b, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	ov := NewOverlay(g)
+	if got := ov.EdgeLabel(a, b); got != "friend" {
+		t.Fatalf("label before removal = %q", got)
+	}
+	if !ov.RemoveEdge(a, b) {
+		t.Fatal("RemoveEdge failed")
+	}
+	if got := ov.EdgeLabel(a, b); got != "" {
+		t.Fatalf("label after overlay removal = %q", got)
+	}
+	if added, _ := ov.AddEdge(a, b); !added {
+		t.Fatal("re-AddEdge failed")
+	}
+	if got := ov.EdgeLabel(a, b); got != "" {
+		t.Fatalf("overlay re-added edge must be unlabeled, got %q", got)
+	}
+	if g.EdgeLabel(a, b) != "friend" {
+		t.Fatal("base label must survive overlay writes")
+	}
+}
+
+// TestOverlayInsertDeleteCancel checks a same-edge insert/delete pair
+// inside one overlay generation leaves no diff behind.
+func TestOverlayInsertDeleteCancel(t *testing.T) {
+	g := New()
+	a, b := g.AddNode(nil), g.AddNode(nil)
+	ov := NewOverlay(g)
+	if added, _ := ov.AddEdge(a, b); !added {
+		t.Fatal("AddEdge failed")
+	}
+	if !ov.RemoveEdge(a, b) {
+		t.Fatal("RemoveEdge failed")
+	}
+	if ov.Pending() != 0 {
+		t.Fatalf("insert/delete pair left %d pending changes", ov.Pending())
+	}
+	if ov.HasEdge(a, b) || ov.NumEdges() != 0 {
+		t.Fatal("cancelled pair still visible")
+	}
+}
+
+// TestOverlayRejectsUnknownNodes mirrors Graph.AddEdge's range check.
+func TestOverlayRejectsUnknownNodes(t *testing.T) {
+	g := New()
+	g.AddNode(nil)
+	ov := NewOverlay(g)
+	if _, err := ov.AddEdge(0, 7); err == nil {
+		t.Fatal("AddEdge with out-of-range endpoint must fail")
+	}
+	if _, err := ov.Apply(Update{Op: 9}); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+}
+
+// TestCloneViewRoundTrip materializes an overlay-composed view and checks
+// the clone observes identically.
+func TestCloneViewRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	const n = 10
+	for i := 0; i < n; i++ {
+		g.AddNode(NewTuple("x", "1"))
+	}
+	for i := 0; i < 25; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	e := g.EdgeList()[0]
+	g.SetEdgeLabel(e[0], e[1], "l")
+	ov := NewOverlay(g)
+	ov.AddEdge(rng.Intn(n), rng.Intn(n))
+	ov.RemoveEdge(e[0], e[1])
+	assertSameView(t, CloneView(ov), ov)
+}

@@ -68,6 +68,33 @@ func (g *Graph) ApplyAll(us []Update) ([]Update, error) {
 	return eff, nil
 }
 
+// NetUpdates collapses a list of updates to its net effect against the
+// current state of g: per edge only the final operation matters, and
+// operations restating the graph's current state vanish — so an insert
+// and a delete of the same edge inside one list annihilate entirely. This
+// is the cancellation step of the paper's minDelta reduction; the
+// incremental engines and the continuous-query writer both use it.
+func NetUpdates(g View, ups []Update) []Update {
+	final := make(map[[2]NodeID]Op, len(ups))
+	order := make([][2]NodeID, 0, len(ups))
+	for _, up := range ups {
+		key := [2]NodeID{up.From, up.To}
+		if _, seen := final[key]; !seen {
+			order = append(order, key)
+		}
+		final[key] = up.Op
+	}
+	net := make([]Update, 0, len(order))
+	for _, key := range order {
+		op := final[key]
+		if (op == InsertEdge) == g.HasEdge(key[0], key[1]) {
+			continue // restates current state: cancelled
+		}
+		net = append(net, Update{Op: op, From: key[0], To: key[1]})
+	}
+	return net
+}
+
 // Insert is shorthand for an edge-insertion update.
 func Insert(u, v NodeID) Update { return Update{Op: InsertEdge, From: u, To: v} }
 

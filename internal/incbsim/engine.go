@@ -54,9 +54,16 @@ func (s Stats) Total() int64 {
 // ResultGraph, IsMatch, IsCandidate, Stats) may run concurrently with
 // each other and block only while a writer is applying an update.
 type Engine struct {
-	mu       sync.RWMutex
-	p        *pattern.Pattern
-	g        *graph.Graph
+	mu sync.RWMutex
+	p  *pattern.Pattern
+	// g is the graph every algorithm reads and writes. In owned mode it is
+	// the *graph.Graph passed to New; in shared mode (NewShared) it is a
+	// private overlay over a base View the engine does not own, so the
+	// repair's interleaved old-state probes and mutations stay private
+	// while the base is untouched.
+	g        graph.Mutable
+	own      *graph.Graph   // the owned graph (nil in shared mode)
+	ov       *graph.Overlay // the private overlay (nil in owned mode)
 	edges    []pattern.Edge
 	outEdges [][]int
 	inEdges  [][]int
@@ -118,17 +125,37 @@ func (e *Engine) workerOracles(w int) []*distance.BFS {
 // New builds an engine for b-pattern p over graph g, computing the initial
 // match with the batch Match algorithm's refinement.
 func New(p *pattern.Pattern, g *graph.Graph, options ...Option) (*Engine, error) {
+	return build(p, g, g, nil, options)
+}
+
+// NewShared builds an engine that reads base through a private update
+// overlay instead of owning a graph replica: per-pattern memory is the
+// engine's auxiliary structures only, O(pattern-state) instead of O(|G|).
+//
+// Contract: every write call repairs the match against base ⊕ updates and
+// then discards the overlay, so the caller must commit exactly those
+// effective updates to the base before the next write. A landmark index
+// cannot be attached in shared mode (it maintains owned storage).
+func NewShared(p *pattern.Pattern, base graph.View, options ...Option) (*Engine, error) {
+	ov := graph.NewOverlay(base)
+	return build(p, ov, nil, ov, options)
+}
+
+func build(p *pattern.Pattern, g graph.Mutable, own *graph.Graph, ov *graph.Overlay, options []Option) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if p.HasColors() {
 		return nil, fmt.Errorf("incbsim: colored patterns are batch-only (use core.MatchColored)")
 	}
-	e := &Engine{p: p, g: g, edges: p.Edges(), km: p.MaxBound(), bfs: distance.NewBFS(g)}
+	e := &Engine{p: p, g: g, own: own, ov: ov, edges: p.Edges(), km: p.MaxBound(), bfs: distance.NewBFS(g)}
 	for _, o := range options {
 		o(e)
 	}
-	if e.lmIdx != nil && e.lmIdx.Graph() != g {
+	if e.lmIdx != nil && own == nil {
+		return nil, fmt.Errorf("incbsim: landmark index requires an owned graph (not NewShared)")
+	}
+	if e.lmIdx != nil && e.lmIdx.Graph() != own {
 		return nil, fmt.Errorf("incbsim: landmark index built over a different graph")
 	}
 	np := p.NumNodes()
@@ -218,6 +245,11 @@ func (e *Engine) endChanges() rel.Delta {
 	if !d.Empty() {
 		e.snap.Store(nil)
 	}
+	// Shared mode: the repair is done, discard the write's overlay diff
+	// (the base owner commits the same updates before the next write).
+	if e.ov != nil {
+		e.ov.Reset()
+	}
 	return d
 }
 
@@ -254,10 +286,20 @@ func (e *Engine) cascade(queue []pair) {
 // Pattern returns the engine's pattern.
 func (e *Engine) Pattern() *pattern.Pattern { return e.p }
 
-// Graph returns the engine's data graph (do not mutate directly; the
-// returned pointer is live, so traversing it while a writer runs is racy —
-// use the engine's methods instead).
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the engine's owned data graph, nil for a shared engine
+// (NewShared). Do not mutate it directly; the returned pointer is live, so
+// traversing it while a writer runs is racy — use the engine's methods
+// instead.
+func (e *Engine) Graph() *graph.Graph { return e.own }
+
+// SharedBase returns the base view a shared engine reads through, nil for
+// an owned engine.
+func (e *Engine) SharedBase() graph.View {
+	if e.ov == nil {
+		return nil
+	}
+	return e.ov.Base()
+}
 
 // Stats returns cumulative affected-area statistics.
 func (e *Engine) Stats() Stats {

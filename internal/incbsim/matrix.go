@@ -17,6 +17,7 @@ import (
 // MatrixEngine maintains bounded simulation with an all-pairs matrix.
 type MatrixEngine struct {
 	e    *Engine
+	g    *graph.Graph // the owned graph (MatrixEngine has no shared mode)
 	n    int
 	dist []int32 // row-major n×n hop distances
 }
@@ -29,7 +30,7 @@ func NewMatrix(p *pattern.Pattern, g *graph.Graph) (*MatrixEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &MatrixEngine{e: inner, n: g.NumNodes()}
+	m := &MatrixEngine{e: inner, g: g, n: g.NumNodes()}
 	m.dist = make([]int32, m.n*m.n)
 	m.recompute(m.dist)
 	return m, nil
@@ -39,7 +40,7 @@ func NewMatrix(p *pattern.Pattern, g *graph.Graph) (*MatrixEngine, error) {
 func (m *MatrixEngine) recompute(dst []int32) {
 	row := make([]int, m.n)
 	for u := 0; u < m.n; u++ {
-		m.e.g.BFSFrom(u, graph.Forward, row)
+		m.g.BFSFrom(u, graph.Forward, row)
 		base := u * m.n
 		for v, d := range row {
 			if d >= graph.Unreachable {
@@ -58,13 +59,13 @@ func (m *MatrixEngine) Result() rel.Relation { return m.e.Result() }
 func (m *MatrixEngine) Stats() Stats { return m.e.Stats() }
 
 // Graph returns the data graph (do not mutate directly).
-func (m *MatrixEngine) Graph() *graph.Graph { return m.e.g }
+func (m *MatrixEngine) Graph() *graph.Graph { return m.g }
 
 // Bytes reports the matrix footprint.
 func (m *MatrixEngine) Bytes() int64 { return int64(len(m.dist)) * 4 }
 
 // nonemptyOld returns the old-matrix nonempty distance (cycle-aware).
-func nonemptyAt(dist []int32, n int, g *graph.Graph, u, v graph.NodeID) int32 {
+func nonemptyAt(dist []int32, n int, g graph.View, u, v graph.NodeID) int32 {
 	if u != v {
 		return dist[u*n+v]
 	}
@@ -90,7 +91,7 @@ func (m *MatrixEngine) Batch(ups []graph.Update) {
 	// cached Result() snapshot (drainTouched/promote record through it).
 	e.beginChanges()
 	defer e.endChanges()
-	net := netUpdates(e.g, ups)
+	net := graph.NetUpdates(e.g, ups)
 	if len(net) == 0 {
 		return
 	}

@@ -527,7 +527,7 @@ func (e *Engine) BatchDelta(ups []graph.Update) rel.Delta {
 }
 
 func (e *Engine) batchLocked(ups []graph.Update) {
-	net := netUpdates(e.g, ups)
+	net := graph.NetUpdates(e.g, ups)
 	touched := make(map[int]map[graph.NodeID]bool)
 	for _, up := range net {
 		if up.Op == graph.DeleteEdge {
@@ -563,28 +563,6 @@ func (e *Engine) ApplyDelta(ups []graph.Update) rel.Delta {
 		}
 	}
 	return e.endChanges()
-}
-
-// netUpdates collapses updates to their net effect against g.
-func netUpdates(g *graph.Graph, ups []graph.Update) []graph.Update {
-	final := make(map[[2]graph.NodeID]graph.Op, len(ups))
-	order := make([][2]graph.NodeID, 0, len(ups))
-	for _, up := range ups {
-		key := [2]graph.NodeID{up.From, up.To}
-		if _, seen := final[key]; !seen {
-			order = append(order, key)
-		}
-		final[key] = up.Op
-	}
-	net := make([]graph.Update, 0, len(order))
-	for _, key := range order {
-		op := final[key]
-		if (op == graph.InsertEdge) == g.HasEdge(key[0], key[1]) {
-			continue
-		}
-		net = append(net, graph.Update{Op: op, From: key[0], To: key[1]})
-	}
-	return net
 }
 
 // promote runs the candidate-closure promotion over the pair graph: the

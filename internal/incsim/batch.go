@@ -45,7 +45,7 @@ func (e *Engine) batchLocked(ups []graph.Update) BatchResult {
 	before := int(e.stats.Removals)
 	beforeAdd := int(e.stats.Promotions)
 
-	net := netUpdates(e.g, ups)
+	net := graph.NetUpdates(e.g, ups)
 	res.Effective = len(net)
 	// The hot path uses the cancellation + relevance reductions only; the
 	// topological-rank filter (Lemma 5.1) costs an O(|G|) pass, which pays
@@ -164,32 +164,6 @@ func (e *Engine) ApplyDelta(ups []graph.Update) rel.Delta {
 	return e.endChanges()
 }
 
-// netUpdates collapses a list of updates to its net effect against the
-// current graph: per edge, only the final state matters, and updates that
-// restate the graph's current state vanish (the cancellation step of
-// minDelta).
-func netUpdates(g *graph.Graph, ups []graph.Update) []graph.Update {
-	final := make(map[[2]graph.NodeID]graph.Op, len(ups))
-	order := make([][2]graph.NodeID, 0, len(ups))
-	for _, up := range ups {
-		key := [2]graph.NodeID{up.From, up.To}
-		if _, seen := final[key]; !seen {
-			order = append(order, key)
-		}
-		final[key] = up.Op
-	}
-	net := make([]graph.Update, 0, len(order))
-	for _, key := range order {
-		op := final[key]
-		has := g.HasEdge(key[0], key[1])
-		if (op == graph.InsertEdge) == has {
-			continue // restates current state: cancelled
-		}
-		net = append(net, graph.Update{Op: op, From: key[0], To: key[1]})
-	}
-	return net
-}
-
 // relevanceRanks computes the topological ranks used by the Lemma 5.1
 // filter: pattern-node ranks over P and data-node ranks over G ⊕ ΔG (the
 // full graph bounds the candidate-induced GI from above, which keeps the
@@ -202,8 +176,15 @@ type rankInfo struct {
 
 func (e *Engine) relevanceRanks(net []graph.Update) *rankInfo {
 	// Rank filtering needs the post-update graph; simulate it on a clone of
-	// the adjacency (cheap relative to a batch run, O(|G| + |ΔG|)).
-	g2 := e.g.Clone()
+	// the adjacency (cheap relative to a batch run, O(|G| + |ΔG|)). Owned
+	// engines take the bulk structural Clone; only shared engines pay the
+	// generic per-edge materialization of their overlay view.
+	var g2 *graph.Graph
+	if e.own != nil {
+		g2 = e.own.Clone()
+	} else {
+		g2 = graph.CloneView(e.g)
+	}
 	for _, up := range net {
 		g2.Apply(up) //nolint:errcheck // net updates are in-range
 	}
@@ -255,7 +236,7 @@ func (e *Engine) MinDelta(ups []graph.Update) BatchResult {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	res := BatchResult{Original: len(ups)}
-	net := netUpdates(e.g, ups)
+	net := graph.NetUpdates(e.g, ups)
 	res.Effective = len(net)
 	ranks := e.relevanceRanks(net)
 	for _, up := range net {

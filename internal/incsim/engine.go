@@ -51,9 +51,15 @@ func (s Stats) Total() int64 {
 // ResultGraph, IsMatch, IsCandidate, Stats, MinDelta) may run concurrently
 // with each other and block only while a writer is applying an update.
 type Engine struct {
-	mu       sync.RWMutex
-	p        *pattern.Pattern
-	g        *graph.Graph
+	mu sync.RWMutex
+	p  *pattern.Pattern
+	// g is the graph every algorithm reads and writes. In owned mode it is
+	// the *graph.Graph passed to New; in shared mode (NewShared) it is a
+	// private overlay over a base View the engine does not own, so repairs
+	// see their own mutations while the base stays untouched.
+	g        graph.Mutable
+	own      *graph.Graph   // the owned graph (nil in shared mode)
+	ov       *graph.Overlay // the private overlay (nil in owned mode)
 	edges    []pattern.Edge
 	outEdges [][]int // pattern-edge indices by source pattern node
 	inEdges  [][]int // pattern-edge indices by target pattern node
@@ -93,13 +99,31 @@ func WithWorkers(n int) Option {
 // (every bound 1); a non-normal pattern is rejected since incremental
 // simulation is defined on normal patterns (use incbsim for b-patterns).
 func New(p *pattern.Pattern, g *graph.Graph, options ...Option) (*Engine, error) {
+	return build(p, g, g, nil, options)
+}
+
+// NewShared builds an engine that reads base through a private update
+// overlay instead of owning a graph replica: per-pattern memory is the
+// engine's auxiliary structures only, O(pattern-state) instead of O(|G|).
+//
+// Contract: every write call (Insert/Delete/Batch/Apply and their *Delta
+// forms) repairs the match against base ⊕ updates and then discards the
+// overlay, so the caller must commit exactly those effective updates to
+// the base before the next write — contq's Registry applies the batch to
+// the canonical graph right after the engine fan-out returns.
+func NewShared(p *pattern.Pattern, base graph.View, options ...Option) (*Engine, error) {
+	ov := graph.NewOverlay(base)
+	return build(p, ov, nil, ov, options)
+}
+
+func build(p *pattern.Pattern, g graph.Mutable, own *graph.Graph, ov *graph.Overlay, options []Option) (*Engine, error) {
 	if !p.IsNormal() {
 		return nil, fmt.Errorf("incsim: pattern is not normal; bounded patterns need incbsim")
 	}
 	if p.HasColors() {
 		return nil, fmt.Errorf("incsim: colored patterns are batch-only (use core.MatchColored)")
 	}
-	e := &Engine{p: p, g: g, edges: p.Edges()}
+	e := &Engine{p: p, g: g, own: own, ov: ov, edges: p.Edges()}
 	for _, o := range options {
 		o(e)
 	}
@@ -169,12 +193,17 @@ func (e *Engine) beginChanges() { e.cs = rel.NewChangeSet(e.match) }
 
 // endChanges disarms the change-set and converts it to the user-visible
 // delta under the totality convention. A visible change invalidates the
-// cached Result() snapshot.
+// cached Result() snapshot. In shared mode it also discards the write's
+// overlay diff: the repair is done, and the base owner commits the same
+// updates before the next write (the NewShared contract).
 func (e *Engine) endChanges() rel.Delta {
 	d := e.cs.End(e.match)
 	e.cs = nil
 	if !d.Empty() {
 		e.snap.Store(nil)
+	}
+	if e.ov != nil {
+		e.ov.Reset()
 	}
 	return d
 }
@@ -212,9 +241,20 @@ func (e *Engine) cascade(queue []pair) {
 // Pattern returns the engine's pattern.
 func (e *Engine) Pattern() *pattern.Pattern { return e.p }
 
-// Graph returns the engine's data graph. Callers must not mutate it
-// directly; use Insert/Delete/Batch.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the engine's owned data graph, nil for a shared engine
+// (NewShared). Callers must not mutate it directly; use Insert/Delete/
+// Batch.
+func (e *Engine) Graph() *graph.Graph { return e.own }
+
+// SharedBase returns the base view a shared engine reads through, nil for
+// an owned engine. It exists so owners (and tests) can assert that storage
+// really is shared rather than cloned.
+func (e *Engine) SharedBase() graph.View {
+	if e.ov == nil {
+		return nil
+	}
+	return e.ov.Base()
+}
 
 // Stats returns the cumulative affected-area statistics.
 func (e *Engine) Stats() Stats {

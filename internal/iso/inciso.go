@@ -16,8 +16,12 @@ import (
 
 // Engine maintains Miso(P, G) under edge updates (IncIsoMat).
 type Engine struct {
-	p          *pattern.Pattern
-	g          *graph.Graph
+	p *pattern.Pattern
+	// g is the graph the anchored searches read and the unit updates
+	// mutate: the owned graph passed to NewEngine, or a private overlay
+	// over a shared base (NewEngineShared).
+	g          graph.Mutable
+	ov         *graph.Overlay // the private overlay (nil in owned mode)
 	pedges     []pattern.Edge
 	embeddings map[string]Embedding
 	// edgeUse[dataEdge] = embedding keys with some pattern edge mapped to it.
@@ -25,11 +29,27 @@ type Engine struct {
 }
 
 // NewEngine computes the initial embedding set with the batch enumerator.
-// The pattern must be normal.
+// The pattern must be normal. The engine owns g: all updates must go
+// through Insert/Delete/Apply.
 func NewEngine(p *pattern.Pattern, g *graph.Graph) *Engine {
+	return buildEngine(p, g, nil)
+}
+
+// NewEngineShared builds an engine that reads base through a private
+// update overlay instead of owning a graph replica. Unit updates
+// accumulate in the overlay; after driving one batch of them, the caller
+// must invoke Commit and then apply the same effective updates to base
+// before the next batch (contq's Registry follows this protocol).
+func NewEngineShared(p *pattern.Pattern, base graph.View) *Engine {
+	ov := graph.NewOverlay(base)
+	return buildEngine(p, ov, ov)
+}
+
+func buildEngine(p *pattern.Pattern, g graph.Mutable, ov *graph.Overlay) *Engine {
 	e := &Engine{
 		p:          p,
 		g:          g,
+		ov:         ov,
 		pedges:     p.Edges(),
 		embeddings: make(map[string]Embedding),
 		edgeUse:    make(map[[2]graph.NodeID]map[string]bool),
@@ -38,6 +58,24 @@ func NewEngine(p *pattern.Pattern, g *graph.Graph) *Engine {
 		e.add(em)
 	}
 	return e
+}
+
+// Commit ends one batch of unit updates on a shared engine: it discards
+// the overlay diff, after which the base owner must apply those updates to
+// the base. A no-op on owned engines.
+func (e *Engine) Commit() {
+	if e.ov != nil {
+		e.ov.Reset()
+	}
+}
+
+// SharedBase returns the base view a shared engine reads through, nil for
+// an owned engine.
+func (e *Engine) SharedBase() graph.View {
+	if e.ov == nil {
+		return nil
+	}
+	return e.ov.Base()
 }
 
 func (e *Engine) add(em Embedding) bool {
@@ -144,7 +182,8 @@ func (e *Engine) DeleteDelta(v0, v1 graph.NodeID) (bool, []Embedding) {
 	return true, dropped
 }
 
-// Apply processes a batch of updates one at a time.
+// Apply processes a batch of updates one at a time, committing the batch
+// at the end (shared engines discard their overlay diff).
 func (e *Engine) Apply(ups []graph.Update) {
 	for _, up := range ups {
 		if up.Op == graph.InsertEdge {
@@ -153,4 +192,5 @@ func (e *Engine) Apply(ups []graph.Update) {
 			e.Delete(up.From, up.To)
 		}
 	}
+	e.Commit()
 }

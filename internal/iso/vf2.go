@@ -28,19 +28,19 @@ func (em Embedding) Key() string {
 
 // Enumerate returns all embeddings of p in g, up to limit (limit <= 0 means
 // unlimited). The pattern must be normal; bounds are ignored.
-func Enumerate(p *pattern.Pattern, g *graph.Graph, limit int) []Embedding {
+func Enumerate(p *pattern.Pattern, g graph.View, limit int) []Embedding {
 	s := newSearch(p, g, limit)
 	s.run(nil)
 	return s.found
 }
 
 // Count returns the number of embeddings of p in g.
-func Count(p *pattern.Pattern, g *graph.Graph) int {
+func Count(p *pattern.Pattern, g graph.View) int {
 	return len(Enumerate(p, g, 0))
 }
 
 // Has reports whether at least one embedding exists (P ⊴iso G).
-func Has(p *pattern.Pattern, g *graph.Graph) bool {
+func Has(p *pattern.Pattern, g graph.View) bool {
 	return len(Enumerate(p, g, 1)) > 0
 }
 
@@ -49,7 +49,7 @@ func Has(p *pattern.Pattern, g *graph.Graph) bool {
 // edge-consistency pruning.
 type search struct {
 	p     *pattern.Pattern
-	g     *graph.Graph
+	g     graph.View
 	limit int
 	order []int // pattern nodes in search order
 	// anchor: pattern-node → fixed data node (used by incremental search).
@@ -61,7 +61,7 @@ type search struct {
 	visited int64 // search-tree nodes, for cost reporting
 }
 
-func newSearch(p *pattern.Pattern, g *graph.Graph, limit int) *search {
+func newSearch(p *pattern.Pattern, g graph.View, limit int) *search {
 	s := &search{
 		p:     p,
 		g:     g,
@@ -207,7 +207,7 @@ func (s *search) feasible(u int, v graph.NodeID) bool {
 
 // enumerateBrute enumerates embeddings by trying every injective assignment
 // — the test reference, exponential and only usable on tiny inputs.
-func enumerateBrute(p *pattern.Pattern, g *graph.Graph) []Embedding {
+func enumerateBrute(p *pattern.Pattern, g graph.View) []Embedding {
 	np, n := p.NumNodes(), g.NumNodes()
 	var found []Embedding
 	mapped := make([]graph.NodeID, np)

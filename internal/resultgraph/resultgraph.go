@@ -41,7 +41,7 @@ func (rg *Graph) HasEdge(u, v graph.NodeID) bool {
 // FromSimulation builds the result graph of a simulation match: (v1, v2) is
 // an edge iff some pattern edge (u1, u2) has v1 ∈ r[u1], v2 ∈ r[u2] and
 // (v1, v2) ∈ E.
-func FromSimulation(p *pattern.Pattern, g *graph.Graph, r rel.Relation) *Graph {
+func FromSimulation(p *pattern.Pattern, g graph.View, r rel.Relation) *Graph {
 	rg := NewGraph()
 	if len(r) < p.NumNodes() {
 		return rg // nil or truncated relation: empty result graph
@@ -66,7 +66,7 @@ func FromSimulation(p *pattern.Pattern, g *graph.Graph, r rel.Relation) *Graph {
 // FromBounded builds the result graph of a bounded-simulation match:
 // (v1, v2) is an edge iff some pattern edge (u1, u2) has v1 ∈ r[u1],
 // v2 ∈ r[u2] and a nonempty path from v1 to v2 within the edge's bound.
-func FromBounded(p *pattern.Pattern, g *graph.Graph, r rel.Relation, oracle distance.Oracle) *Graph {
+func FromBounded(p *pattern.Pattern, g graph.View, r rel.Relation, oracle distance.Oracle) *Graph {
 	rg := NewGraph()
 	if len(r) < p.NumNodes() {
 		return rg // nil or truncated relation: empty result graph

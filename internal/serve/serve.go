@@ -16,6 +16,7 @@
 //	DELETE  /patterns/{id}          —                unregister, close streams
 //	POST    /updates                update text      commit batch, fan out deltas
 //	GET     /patterns/{id}/stream   —                SSE: snapshot, then deltas
+//	GET     /stats                  —                registry + coalescing stats
 package serve
 
 import (
@@ -52,6 +53,7 @@ func New(options ...contq.Option) *Server {
 	mux.HandleFunc("DELETE /patterns/{id}", s.unregister)
 	mux.HandleFunc("POST /updates", s.updates)
 	mux.HandleFunc("GET /patterns/{id}/stream", s.stream)
+	mux.HandleFunc("GET /stats", s.stats)
 	s.mux = mux
 	return s
 }
@@ -123,6 +125,12 @@ func (s *Server) graphInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"nodes": nodes, "edges": edges, "seq": seq, "patterns": len(reg.Patterns()),
 	})
+}
+
+// stats reports the registry snapshot: pattern count, committed sequence,
+// shared-graph size and the writer's cumulative coalescing counters.
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.registry().Stats())
 }
 
 func (s *Server) register(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -328,3 +329,58 @@ func TestLoadGraphResetsPatterns(t *testing.T) {
 		t.Fatalf("stale pattern result: code %d", code)
 	}
 }
+
+// TestStatsEndpoint checks GET /stats: graph size, pattern count, commit
+// sequence and the writer's coalescing counters, before and after commits.
+func TestStatsEndpoint(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	client := ts.Client()
+
+	g, gtext := testGraphText(t, 5)
+	if code, _ := do(t, client, "POST", ts.URL+"/graph", gtext); code != http.StatusOK {
+		t.Fatal("load graph failed")
+	}
+	if code, _ := do(t, client, "PUT", ts.URL+"/patterns/q?kind=sim", testPatternText(t, g, 1, 5)); code != http.StatusCreated {
+		t.Fatal("register failed")
+	}
+
+	code, stats := do(t, client, "GET", ts.URL+"/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /stats: code %d", code)
+	}
+	if int(stats["nodes"].(float64)) != g.NumNodes() || int(stats["edges"].(float64)) != g.NumEdges() {
+		t.Fatalf("stats graph size: %v", stats)
+	}
+	if int(stats["patterns"].(float64)) != 1 || stats["seq"].(float64) != 0 || stats["commits"].(float64) != 0 {
+		t.Fatalf("initial stats: %v", stats)
+	}
+
+	// One commit with an internally-cancelling pair plus a real update.
+	var u, v graph.NodeID = -1, -1
+	for a := 0; a < g.NumNodes() && u < 0; a++ {
+		for b := 0; b < g.NumNodes(); b++ {
+			if a != b && !g.HasEdge(a, b) {
+				u, v = a, b
+				break
+			}
+		}
+	}
+	upText := "insert " + itoa(u) + " " + itoa(v) + "\ndelete " + itoa(u) + " " + itoa(v) + "\n"
+	if code, _ := do(t, client, "POST", ts.URL+"/updates", upText); code != http.StatusOK {
+		t.Fatal("updates failed")
+	}
+
+	_, stats = do(t, client, "GET", ts.URL+"/stats", "")
+	if stats["seq"].(float64) != 1 || stats["commits"].(float64) != 1 || stats["applies"].(float64) != 1 {
+		t.Fatalf("post-commit stats: %v", stats)
+	}
+	if stats["updates_submitted"].(float64) != 2 || stats["updates_applied"].(float64) != 0 ||
+		stats["updates_cancelled"].(float64) != 2 {
+		t.Fatalf("cancellation stats: %v", stats)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
