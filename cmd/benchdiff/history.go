@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Bench-trajectory history: each CI run appends one NDJSON line — the
+// run's per-figure elapsed times plus the gate's verdict — to a
+// BENCH_history.ndjson carried across runs (actions/cache) and uploaded
+// as an artifact, so the per-commit bench trajectory stays queryable
+// without a metrics service. -history renders the file as a per-figure
+// trend table.
+
+// historyEntry is one benchmarked run.
+type historyEntry struct {
+	Time    string             `json:"time"`
+	Commit  string             `json:"commit,omitempty"`
+	Scale   float64            `json:"scale"`
+	Seed    int64              `json:"seed"`
+	Verdict string             `json:"verdict"` // "ok" or "regression"
+	Figures map[string]float64 `json:"figures"` // figure -> elapsed_ms
+}
+
+// appendHistory appends one entry for the current run.
+func appendHistory(path, commit string, scale float64, seed int64, cur map[string]run, regressions int) error {
+	entry := historyEntry{
+		Time:    time.Now().UTC().Format(time.RFC3339),
+		Commit:  commit,
+		Scale:   scale,
+		Seed:    seed,
+		Verdict: "ok",
+		Figures: make(map[string]float64, len(cur)),
+	}
+	if regressions > 0 {
+		entry.Verdict = "regression"
+	}
+	for name, r := range cur {
+		entry.Figures[name] = r.ElapsedMS
+	}
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readHistory parses a history file, skipping malformed lines (a torn
+// tail from an interrupted CI run must not break the trend).
+func readHistory(path string) ([]historyEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var entries []historyEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e historyEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%s: no history entries", path)
+	}
+	return entries, nil
+}
+
+// printHistory renders the per-figure trend: one row per recorded run
+// (oldest first), one column per figure, plus a first→last summary.
+func printHistory(path string) error {
+	entries, err := readHistory(path)
+	if err != nil {
+		return err
+	}
+	figSet := map[string]bool{}
+	for _, e := range entries {
+		for name := range e.Figures {
+			figSet[name] = true
+		}
+	}
+	figures := make([]string, 0, len(figSet))
+	for name := range figSet {
+		figures = append(figures, name)
+	}
+	sort.Strings(figures)
+
+	fmt.Printf("%-20s %-10s %-10s", "time", "commit", "verdict")
+	for _, name := range figures {
+		fmt.Printf(" %10s", name)
+	}
+	fmt.Println()
+	for _, e := range entries {
+		commit := e.Commit
+		if len(commit) > 9 {
+			commit = commit[:9]
+		}
+		ts := e.Time
+		if t, err := time.Parse(time.RFC3339, e.Time); err == nil {
+			ts = t.Format("2006-01-02 15:04")
+		}
+		fmt.Printf("%-20s %-10s %-10s", ts, commit, e.Verdict)
+		for _, name := range figures {
+			if ms, ok := e.Figures[name]; ok {
+				fmt.Printf(" %10.1f", ms)
+			} else {
+				fmt.Printf(" %10s", "-")
+			}
+		}
+		fmt.Println()
+	}
+
+	if len(entries) > 1 {
+		fmt.Printf("\ntrend over %d runs (first -> last):\n", len(entries))
+		first, last := entries[0], entries[len(entries)-1]
+		for _, name := range figures {
+			a, okA := first.Figures[name]
+			b, okB := last.Figures[name]
+			if !okA || !okB || a <= 0 {
+				continue
+			}
+			fmt.Printf("  %-8s %10.1f -> %10.1f ms  (%+.1f%%)\n", name, a, b, (b-a)/a*100)
+		}
+	}
+	return nil
+}

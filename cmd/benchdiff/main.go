@@ -88,13 +88,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
 	var (
-		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline gpbench -json file")
-		current   = flag.String("current", "", "current gpbench -json file")
-		threshold = flag.Float64("threshold", 0.25, "relative elapsed_ms regression that fails the gate")
-		minMS     = flag.Float64("min-ms", 50, "absolute elapsed_ms slack: smaller deltas never fail")
-		normalize = flag.Bool("normalize", false, "rescale baseline by the median current/baseline ratio (cross-machine baselines)")
+		baseline   = flag.String("baseline", "BENCH_baseline.json", "baseline gpbench -json file")
+		current    = flag.String("current", "", "current gpbench -json file")
+		threshold  = flag.Float64("threshold", 0.25, "relative elapsed_ms regression that fails the gate")
+		minMS      = flag.Float64("min-ms", 50, "absolute elapsed_ms slack: smaller deltas never fail")
+		normalize  = flag.Bool("normalize", false, "rescale baseline by the median current/baseline ratio (cross-machine baselines)")
+		history    = flag.String("history", "", "print the per-figure trend from a BENCH_history.ndjson file, then exit")
+		histAppend = flag.String("history-append", "", "append this run's figures and verdict to a BENCH_history.ndjson file")
+		commitSHA  = flag.String("commit", "", "commit id recorded in -history-append entries")
 	)
 	flag.Parse()
+	if *history != "" {
+		if err := printHistory(*history); err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *current == "" {
 		log.Println("missing -current")
 		flag.Usage()
@@ -163,6 +173,21 @@ func main() {
 	for name := range base {
 		if _, ok := cur[name]; !ok {
 			fmt.Printf("%-8s  (missing from current run)\n", name)
+		}
+	}
+	// Record the run in the trajectory history before any failure exit, so
+	// regressed runs are part of the trend too.
+	if *histAppend != "" {
+		var scale float64
+		var seed int64
+		for _, c := range cur {
+			scale, seed = c.Scale, c.Seed
+			break
+		}
+		if err := appendHistory(*histAppend, *commitSHA, scale, seed, cur, regressions); err != nil {
+			log.Printf("history append failed: %v", err)
+		} else {
+			fmt.Printf("appended run to %s\n", *histAppend)
 		}
 	}
 	if regressions > 0 {

@@ -7,6 +7,7 @@
 //
 //	gpserve -addr :8080
 //	gpserve -addr :8080 -graph g.graph
+//	gpserve -addr :8080 -journal /var/lib/gpserve
 //
 // A session with curl:
 //
@@ -16,10 +17,18 @@
 //	curl -X POST --data-binary $'insert 3 7\ndelete 7 3\n' localhost:8080/updates
 //	curl localhost:8080/stats
 //
+// With -journal DIR every commit (and pattern registration) is appended
+// to a durable, checksummed log, and on startup gpserve recovers the
+// graph, standing patterns and commit sequence from the latest snapshot
+// plus the log tail — dropped SSE clients resume with Last-Event-ID even
+// across the restart. Without -journal an in-memory ring still serves
+// resumes, but nothing survives the process.
+//
 // gpserve shuts down gracefully on SIGINT/SIGTERM: the listener stops
-// accepting, the registry closes (which ends every SSE stream and lets
-// any in-flight commit drain), and remaining connections get a bounded
-// grace period before the process exits.
+// accepting, the registry closes (which ends every SSE stream, lets any
+// in-flight commit drain, and fsyncs the journal), remaining connections
+// get a bounded grace period, and the journal is closed last — after the
+// HTTP server has drained — so no handler can race a torn tail record.
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 
 	"gpm/internal/contq"
 	"gpm/internal/graph"
+	"gpm/internal/journal"
 	"gpm/internal/par"
 	"gpm/internal/serve"
 )
@@ -47,23 +57,63 @@ func main() {
 		gfile   = flag.String("graph", "", "optional graph file to load at startup")
 		workers = flag.Int("workers", 0, "fan-out worker goroutines per commit (0 = GOMAXPROCS)")
 		grace   = flag.Duration("grace", 10*time.Second, "graceful-shutdown grace period")
+		jdir    = flag.String("journal", "", "directory for the durable commit journal (empty = in-memory replay ring only)")
+		jsnap   = flag.Uint64("journal-snapshot-every", 1024, "write a recovery snapshot (and compact the journal) every N commits")
+		jring   = flag.Int("journal-ring", 4096, "recent commits kept in memory for hot stream resumes")
+		jseg    = flag.Int64("journal-segment-bytes", 4<<20, "journal segment rotation threshold in bytes")
 	)
 	flag.Parse()
 
-	srv := serve.New(contq.WithWorkers(*workers))
 	par.SetDefaultWorkers(*workers)
+
+	var srv *serve.Server
+	var jnl *journal.Journal
+	if *jdir != "" {
+		var err error
+		jnl, err = journal.Open(*jdir,
+			journal.WithSnapshotEvery(*jsnap),
+			journal.WithRing(*jring),
+			journal.WithSegmentBytes(*jseg))
+		if err != nil {
+			log.Fatalf("opening journal %s: %v", *jdir, err)
+		}
+		srv, err = serve.NewWithJournal(jnl, contq.WithWorkers(*workers))
+		if err != nil {
+			log.Fatalf("recovering from journal %s: %v", *jdir, err)
+		}
+	} else {
+		srv = serve.New(contq.WithWorkers(*workers))
+	}
+	nodes, edges, seq := srv.Registry().GraphInfo()
+	npats := len(srv.Registry().Patterns())
+	recovered := seq > 0 || nodes > 0 || npats > 0
+	if jnl != nil && recovered {
+		log.Printf("recovered from %s: %d nodes, %d edges, %d patterns, seq %d",
+			*jdir, nodes, edges, npats, seq)
+	}
+
 	if *gfile != "" {
-		f, err := os.Open(*gfile)
-		if err != nil {
-			log.Fatal(err)
+		if jnl != nil && recovered {
+			// The journal already holds a world — even one still at seq 0
+			// (a POSTed graph or registered patterns with no commits yet);
+			// -graph would wipe it.
+			log.Printf("journal has state (seq %d, %d nodes, %d patterns); ignoring -graph %s (POST /graph to replace)",
+				seq, nodes, npats, *gfile)
+		} else {
+			f, err := os.Open(*gfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			g, err := graph.Read(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", *gfile, err)
+			}
+			if err := srv.LoadGraph(g); err != nil {
+				log.Fatalf("loading %s: %v", *gfile, err)
+			}
+			log.Printf("loaded %s: %d nodes, %d edges", *gfile, g.NumNodes(), g.NumEdges())
 		}
-		g, err := graph.Read(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("%s: %v", *gfile, err)
-		}
-		srv.LoadGraph(g)
-		log.Printf("loaded %s: %d nodes, %d edges", *gfile, g.NumNodes(), g.NumEdges())
 	}
 
 	httpSrv := &http.Server{
@@ -87,9 +137,9 @@ func main() {
 	stop() // a second signal kills the process immediately
 	log.Printf("shutting down (grace %s)", *grace)
 
-	// Close the registry first: it waits for any in-flight commit, then
-	// cancels every subscription, which unblocks the SSE handlers so
-	// Shutdown's connection drain below can actually finish.
+	// Close the registry first: it waits for any in-flight commit, fsyncs
+	// the journal, then cancels every subscription, which unblocks the SSE
+	// handlers so Shutdown's connection drain below can actually finish.
 	srv.Close()
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
@@ -100,6 +150,14 @@ func main() {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	// The journal closes last — after the HTTP server has drained — so no
+	// straggling handler can write past the final fsync (no torn tail).
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			log.Printf("closing journal: %v", err)
+		}
+		log.Printf("journal closed at seq %d", jnl.HeadSeq())
 	}
 	log.Printf("bye")
 }

@@ -47,6 +47,7 @@ import (
 	"gpm/internal/incbsim"
 	"gpm/internal/incsim"
 	"gpm/internal/iso"
+	"gpm/internal/journal"
 	"gpm/internal/landmark"
 	"gpm/internal/par"
 	"gpm/internal/pattern"
@@ -116,6 +117,20 @@ type (
 	// GraphView is the read-only face of a data graph that matching
 	// engines read through; *Graph satisfies it.
 	GraphView = graph.View
+	// Journal is the registry's replayable commit log: every commit's net
+	// ΔG plus pattern registrations, retained in a memory ring and
+	// optionally on disk (see OpenJournal / NewMemoryJournal).
+	Journal = journal.Journal
+	// JournalStats reports a journal's retention and footprint: appended
+	// commits, segments, bytes, oldest and head sequence.
+	JournalStats = journal.Stats
+	// JournalCommit is one replayed commit: its sequence number and net
+	// update batch (see Registry.Replay).
+	JournalCommit = journal.Commit
+	// JournalOption configures OpenJournal / NewMemoryJournal.
+	JournalOption = journal.Option
+	// SubscribeOption configures Registry.Subscribe (see FromSeq).
+	SubscribeOption = contq.SubscribeOption
 )
 
 // The engine kinds a standing pattern can be registered under.
@@ -228,6 +243,53 @@ func NewIncBSimEngineWithLandmarks(p *Pattern, g *Graph) (*IncBSimEngine, error)
 // subscribers never block behind it. cmd/gpserve exposes the same
 // subsystem over HTTP.
 func NewRegistry(g *Graph) *Registry { return contq.New(g) }
+
+// NewRegistryWithJournal builds a continuous-query registry whose commit
+// stream is recorded in j: every commit's net ΔG and every pattern
+// (un)registration is appended, so disconnected subscribers resume with
+// Subscribe(id, FromSeq(n)), raw ΔG tails replay with Registry.Replay,
+// and — for durable journals — a crashed process recovers its full state
+// with RecoverRegistry. j must be new or freshly reset; Registry.Close
+// flushes and fsyncs it but leaves closing it to the caller.
+func NewRegistryWithJournal(g *Graph, j *Journal) *Registry {
+	return contq.New(g, contq.WithJournal(j))
+}
+
+// RecoverRegistry rebuilds a registry from a durable journal: the latest
+// snapshot's graph and standing patterns are loaded, the record tail is
+// replayed through the incremental engines, and the journal stays
+// attached for new commits. The recovered registry serves results at the
+// journal's head sequence.
+func RecoverRegistry(j *Journal) (*Registry, error) { return contq.Recover(j) }
+
+// OpenJournal opens (or creates) a durable commit journal in dir:
+// length-prefixed checksummed records in rotating segment files, periodic
+// full-state snapshots for bounded recovery and log compaction, and a
+// memory ring for hot replay. A torn tail record left by a crash is
+// truncated away on open.
+func OpenJournal(dir string, options ...JournalOption) (*Journal, error) {
+	return journal.Open(dir, options...)
+}
+
+// NewMemoryJournal returns a memory-only journal: subscribers can resume
+// within the retained ring (JournalRing), but nothing survives the
+// process.
+func NewMemoryJournal(options ...JournalOption) *Journal { return journal.New(options...) }
+
+// JournalRing bounds how many recent commits a journal keeps in memory
+// for hot replay (default 4096).
+func JournalRing(n int) JournalOption { return journal.WithRing(n) }
+
+// JournalSnapshotEvery makes a durable journal checkpoint (and compact)
+// every n commits (default 1024; 0 disables automatic snapshots).
+func JournalSnapshotEvery(n uint64) JournalOption { return journal.WithSnapshotEvery(n) }
+
+// FromSeq makes Registry.Subscribe resume from commit sequence n: the
+// subscription starts with no snapshot and its events begin at n+1, the
+// missed deltas backfilled by replaying the journal through a fresh
+// engine. Fails if the journal no longer retains the range — fall back to
+// a plain Subscribe.
+func FromSeq(n uint64) SubscribeOption { return contq.FromSeq(n) }
 
 // NewIncIsoEngine builds the incremental subgraph-isomorphism engine
 // (IncIsoMat of Section 7 — unbounded by Theorem 7.1, exponential worst

@@ -225,34 +225,99 @@ type panicMatcher struct{}
 func (panicMatcher) apply(ups []graph.Update) rel.Delta { panic("boom") }
 func (panicMatcher) result() rel.Relation               { return rel.NewRelation(1) }
 
-// TestPanickingCommitDoesNotWedgeWriter: a panic inside a commit must
-// reach the synchronous drainer, fail any queued callers, and leave the
-// registry writable — not hang every later Apply on a dead drain flag.
-func TestPanickingCommitDoesNotWedgeWriter(t *testing.T) {
+// TestPanickingEngineIsEvicted: a panic inside one engine's repair is
+// contained to that pattern — the commit itself proceeds (the other
+// engines already absorbed the batch, so the canonical graph must too),
+// the broken pattern is evicted with its subscriber streams closed, and
+// the surviving pattern's result stays exactly in sync.
+func TestPanickingEngineIsEvicted(t *testing.T) {
 	seed := int64(6)
 	g := generator.Synthetic(30, 90, generator.DefaultSchema(3), seed)
+	solo := g.Clone()
+	p := testPattern(g, KindSim, seed)
 	reg := New(g)
-	if err := reg.Register("good", testPattern(g, KindSim, seed), KindSim); err != nil {
+	if err := reg.Register("good", p, KindSim); err != nil {
 		t.Fatal(err)
 	}
 	reg.mu.Lock()
 	reg.pats["bad"] = &registration{id: "bad", kind: KindSim, m: panicMatcher{}, subs: make(map[*Subscription]struct{})}
 	reg.mu.Unlock()
+	badSub, err := reg.Subscribe("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	ups := generator.Updates(g, 4, 0, seed+7)
+	seq, err := reg.Apply(ups[:2])
+	if err != nil || seq != 1 {
+		t.Fatalf("commit with a panicking engine: seq=%d err=%v", seq, err)
+	}
+	if _, ok := reg.Result("bad"); ok {
+		t.Fatal("panicked pattern must be evicted")
+	}
+	if _, ok := <-badSub.C; ok {
+		t.Fatal("evicted pattern's subscriber stream must close")
+	}
+	if st := reg.Stats(); st.PatternsEvicted != 1 {
+		t.Fatalf("PatternsEvicted = %d, want 1", st.PatternsEvicted)
+	}
+
+	// The survivor is still in lockstep with the canonical graph: its
+	// result equals a solo engine fed the same stream, before and after
+	// another commit.
+	check := func(applied []graph.Update) {
+		t.Helper()
+		g2 := solo.Clone()
+		m, err := newMatcher(KindSim, p, g2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.apply(applied)
+		got, _ := reg.Result("good")
+		if !got.Equal(m.result()) {
+			t.Fatal("surviving pattern diverged after an engine panic")
+		}
+	}
+	check(ups[:2])
+	if seq, err := reg.Apply(ups[2:4]); err != nil || seq != 2 {
+		t.Fatalf("registry wedged after eviction: seq=%d err=%v", seq, err)
+	}
+	check(ups[:4])
+	reg.Close()
+}
+
+// TestPanickingPublishDoesNotWedgeWriter: the drain's outer panic guard
+// still protects the writer from panics outside the engine fan-out —
+// queued callers get errors, the flag resets, and the registry stays
+// writable. (Engine-repair panics no longer reach it; see above.)
+func TestPanickingPublishDoesNotWedgeWriter(t *testing.T) {
+	seed := int64(6)
+	g := generator.Synthetic(30, 90, generator.DefaultSchema(3), seed)
+	reg := New(g)
+	ups := generator.Updates(g, 4, 0, seed+7)
+
+	// A nil subscription in the set makes publish panic — a stand-in for
+	// any post-fan-out bug.
+	if err := reg.Register("q", testPattern(g, KindSim, seed), KindSim); err != nil {
+		t.Fatal(err)
+	}
+	reg.mu.Lock()
+	reg.pats["q"].subs[nil] = struct{}{}
+	reg.mu.Unlock()
+
 	func() {
 		defer func() {
 			if recover() == nil {
-				t.Error("Apply must propagate the engine panic to the synchronous drainer")
+				t.Error("Apply must propagate a non-engine panic to the synchronous drainer")
 			}
 		}()
 		reg.Apply(ups[:1]) //nolint:errcheck // panics
 	}()
-	if reg.Seq() != 0 {
-		t.Fatalf("panicked commit advanced seq to %d", reg.Seq())
-	}
 
-	// Background-drainer path: queued requests must get errors, not hang.
+	// Background-drainer path: queued requests must complete, not hang.
+	// Their commit finished (seq assigned, graph mutated) before the
+	// publish panic, so under Apply's contract they report success with a
+	// nonzero seq — seq 0 with an error is reserved for never-committed.
 	r1, r2 := queued(ups[1]), queued(ups[2])
 	reg.qmu.Lock()
 	reg.queue = append(reg.queue, r1, r2)
@@ -261,17 +326,17 @@ func TestPanickingCommitDoesNotWedgeWriter(t *testing.T) {
 	reg.drainStep(false) // must recover, not crash the process
 	mustDone(t, r1)
 	mustDone(t, r2)
-	if r1.err == nil || r2.err == nil {
-		t.Fatal("queued callers of a panicked commit must receive errors")
+	if r1.seq == 0 || r2.seq == 0 || r1.err != nil || r2.err != nil {
+		t.Fatalf("committed callers must get their seq despite the publish panic: %d/%v %d/%v",
+			r1.seq, r1.err, r2.seq, r2.err)
 	}
 
-	// The writer must be fully usable once the faulty engine is gone.
+	// The writer must be fully usable once the faulty subscriber is gone.
 	reg.mu.Lock()
-	delete(reg.pats, "bad")
+	delete(reg.pats["q"].subs, nil)
 	reg.mu.Unlock()
-	seq, err := reg.Apply(ups[3:4])
-	if err != nil || seq != 1 {
-		t.Fatalf("registry wedged after panic: seq=%d err=%v", seq, err)
+	if _, err := reg.Apply(ups[3:4]); err != nil {
+		t.Fatalf("registry wedged after panic: %v", err)
 	}
 	reg.Close()
 }

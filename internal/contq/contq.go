@@ -45,11 +45,13 @@
 package contq
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
 
 	"gpm/internal/graph"
+	"gpm/internal/journal"
 	"gpm/internal/par"
 	"gpm/internal/pattern"
 	"gpm/internal/rel"
@@ -64,6 +66,13 @@ var (
 	ErrAlreadyRegistered = errors.New("contq: pattern already registered")
 	// ErrNotRegistered reports an unknown pattern id.
 	ErrNotRegistered = errors.New("contq: pattern not registered")
+	// ErrNoJournal reports a replay/resume request on a registry built
+	// without a journal.
+	ErrNoJournal = errors.New("contq: registry has no journal")
+	// ErrSeqFuture reports a replay/resume request from a sequence number
+	// ahead of the registry's head (e.g. a client that outlived a server
+	// which lost its journal tail); the client must re-snapshot.
+	ErrSeqFuture = errors.New("contq: requested seq is ahead of the registry")
 )
 
 // Kind selects the engine backing a registered pattern.
@@ -105,10 +114,11 @@ type Info struct {
 
 // registration is one standing pattern: its matcher and its subscribers.
 type registration struct {
-	id   string
-	p    *pattern.Pattern
-	kind Kind
-	m    matcher
+	id     string
+	p      *pattern.Pattern
+	kind   Kind
+	m      matcher
+	regSeq uint64 // commit seq current when the pattern was registered
 
 	mu   sync.Mutex
 	subs map[*Subscription]struct{}
@@ -147,6 +157,14 @@ type Registry struct {
 	engineW int // worker count handed to each engine's internal sweeps
 	closed  bool
 
+	// journal, when set, records every commit (seq + net ΔG) and pattern
+	// registration/unregistration, making the commit stream replayable:
+	// Subscribe(FromSeq) backfills missed deltas, Replay serves raw ΔG
+	// tails, and Recover rebuilds a registry after a crash. Appends happen
+	// inside the writer's critical section, so the journal's record order
+	// is the commit order.
+	journal *journal.Journal
+
 	// Writer queue: Apply enqueues and the first enqueuer drains, so
 	// batches arriving while a commit is in flight coalesce into the next
 	// commit. queue non-empty implies draining (the drainer only exits
@@ -155,12 +173,21 @@ type Registry struct {
 	queue    []*applyReq
 	draining bool
 
+	// Resume-clone cache: one immutable graph clone per head sequence,
+	// shared by every FromSeq resume at that head so a reconnect storm
+	// pays a single O(|G|) copy under the writer lock instead of one per
+	// client. Invalidated by each commit.
+	resumeMu  sync.Mutex
+	resumeSeq uint64
+	resumeG   *graph.Graph
+
 	// Cumulative writer counters, written inside the commit's r.mu
 	// critical section and read by Stats.
 	commits      uint64 // committed drains (each advanced seq by one)
 	applies      uint64 // Apply calls admitted into commits
 	upsSubmitted uint64 // updates admitted before coalescing
 	upsApplied   uint64 // effective updates after coalescing
+	evictions    uint64 // patterns evicted after a panicking repair
 }
 
 // applyReq is one caller's queued Apply: its batch on the way in, its
@@ -181,6 +208,18 @@ func WithWorkers(n int) Option {
 	return func(r *Registry) { r.workers = n }
 }
 
+// WithJournal attaches a commit journal: every commit's net ΔG and every
+// pattern (un)registration is appended to j, which then serves
+// Subscribe(..., FromSeq(n)) resumes and Replay tails, and — for durable
+// journals — crash recovery via Recover. The journal must be empty or
+// freshly Reset (its head sequence must match the registry's, which New
+// starts at 0); to adopt a journal with history, use Recover instead.
+// Registry.Close flushes and fsyncs the journal but does not close it
+// (the journal may outlive the registry, e.g. across graph reloads).
+func WithJournal(j *journal.Journal) Option {
+	return func(r *Registry) { r.journal = j }
+}
+
 // WithEngineWorkers sets the worker count passed to each engine's internal
 // parallel sweeps. The default is 1: with many engines repairing
 // concurrently, per-engine parallelism would oversubscribe the cores, so
@@ -190,11 +229,17 @@ func WithEngineWorkers(n int) Option {
 	return func(r *Registry) { r.engineW = n }
 }
 
-// New builds a registry over g, taking ownership of it.
+// New builds a registry over g, taking ownership of it. When a journal is
+// attached (WithJournal) and it is brand new, it is seeded with a
+// snapshot of g so crash recovery can replay commits over the starting
+// state.
 func New(g *graph.Graph, options ...Option) *Registry {
 	r := &Registry{g: g, pats: make(map[string]*registration), engineW: 1}
 	for _, o := range options {
 		o(r)
+	}
+	if r.journal != nil {
+		r.journal.Bootstrap(g) //nolint:errcheck // failure lands in journal.Stats.LastError
 	}
 	return r
 }
@@ -229,7 +274,21 @@ func (r *Registry) Register(id string, p *pattern.Pattern, kind Kind) error {
 	if err != nil {
 		return err
 	}
-	reg := &registration{id: id, p: p, kind: kind, m: m, subs: make(map[*Subscription]struct{})}
+	r.mu.RLock()
+	seq := r.seq
+	r.mu.RUnlock()
+	// Journal the registration (with the resolved kind) before installing
+	// it, so a pattern is never live without being recoverable.
+	if r.journal != nil {
+		var def bytes.Buffer
+		if err := p.Write(&def); err != nil {
+			return fmt.Errorf("contq: serializing pattern %q: %w", id, err)
+		}
+		if err := r.journal.AppendRegister(seq, id, string(kind), def.Bytes()); err != nil {
+			return fmt.Errorf("contq: journaling pattern %q: %w", id, err)
+		}
+	}
+	reg := &registration{id: id, p: p, kind: kind, m: m, regSeq: seq, subs: make(map[*Subscription]struct{})}
 	r.mu.Lock()
 	r.pats[id] = reg
 	r.mu.Unlock()
@@ -244,9 +303,15 @@ func (r *Registry) Unregister(id string) bool {
 	r.mu.Lock()
 	reg, ok := r.pats[id]
 	delete(r.pats, id)
+	seq := r.seq
 	r.mu.Unlock()
 	if !ok {
 		return false
+	}
+	if r.journal != nil {
+		// Best-effort: an append failure is recorded in the journal's
+		// stats (LastError); the unregistration itself stands.
+		r.journal.AppendUnregister(seq, id) //nolint:errcheck // see above
 	}
 	reg.mu.Lock()
 	subs := make([]*Subscription, 0, len(reg.subs))
@@ -264,7 +329,10 @@ func (r *Registry) Unregister(id string) bool {
 // Apply submits one batch of edge updates and blocks until the commit
 // containing it completes, returning that commit's sequence number. The
 // batch is validated independently of any other caller's (an invalid
-// batch gets its own error and poisons nothing).
+// batch gets its own error and poisons nothing). On error, a zero seq
+// means the batch was never committed; a nonzero seq means it WAS
+// committed and published but a post-commit step failed (e.g. the
+// journal append — the state stands in memory but is not durable).
 //
 // Batches queued while a commit is in flight coalesce into the next
 // commit: their updates are concatenated in arrival order and cancelled
@@ -389,11 +457,14 @@ func (r *Registry) commit(batch []*applyReq) {
 		return
 	}
 	// Per-caller validation: a bad batch fails alone, the rest commit.
+	// A rejected request keeps seq 0 — callers (and the HTTP layer) use a
+	// nonzero seq with an error to distinguish "committed but a later
+	// step failed" from "never committed".
 	valid := make([]*applyReq, 0, len(batch))
 	var combined []graph.Update
 	for _, req := range batch {
 		if err := r.validate(req.ups); err != nil {
-			req.seq, req.err = r.seq, err
+			req.err = err
 			continue
 		}
 		valid = append(valid, req)
@@ -406,11 +477,22 @@ func (r *Registry) commit(batch []*applyReq) {
 
 	// Fan the effective ΔG out to every engine: they read the canonical
 	// graph (immutable until below) through private overlays, so repairs
-	// run in parallel without sharing mutable state.
+	// run in parallel without sharing mutable state. A panicking repair is
+	// contained to its own engine — the other engines have already
+	// absorbed the batch, so the commit must proceed (graph mutation,
+	// seq, journal, publishes) or every surviving engine would be
+	// permanently desynced from the canonical graph. The broken pattern's
+	// state is undefined, so it is evicted below.
 	regs := r.snapshotRegs()
 	deltas := make([]rel.Delta, len(regs))
+	repairErr := make([]error, len(regs))
 	if len(effective) > 0 {
 		par.For(len(regs), r.workers, func(_, i int) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					repairErr[i] = fmt.Errorf("contq: pattern %q repair panicked: %v", regs[i].id, rec)
+				}
+			}()
 			deltas[i] = regs[i].m.apply(effective)
 		})
 	}
@@ -419,10 +501,11 @@ func (r *Registry) commit(batch []*applyReq) {
 	if len(effective) > 0 {
 		if _, err := r.g.ApplyAll(effective); err != nil {
 			// Unreachable after validation + coalescing; surface loudly.
+			// No seq was assigned: callers see seq 0 with the error.
 			r.mu.Unlock()
 			err = fmt.Errorf("contq: canonical graph diverged: %w", err)
 			for _, req := range valid {
-				req.seq, req.err = r.seq, err
+				req.err = err
 			}
 			return
 		}
@@ -434,12 +517,96 @@ func (r *Registry) commit(batch []*applyReq) {
 	r.upsSubmitted += uint64(len(combined))
 	r.upsApplied += uint64(len(effective))
 	r.mu.Unlock()
-	for i, reg := range regs {
-		reg.publish(Event{Pattern: reg.id, Seq: seq, Delta: deltas[i]})
-	}
+	// The commit now exists: stamp every caller's seq immediately, so a
+	// failure in any later step (journal append, publish) surfaces as
+	// "committed at seq N but X failed" — never as the seq-0 signal that
+	// means the batch was rejected.
 	for _, req := range valid {
 		req.seq = seq
 	}
+	// The graph (and head) moved on: drop the resume-clone cache so no
+	// later resume reuses a stale copy (also frees its memory).
+	r.resumeMu.Lock()
+	r.resumeG = nil
+	r.resumeMu.Unlock()
+	// Journal the commit before publishing it, so no subscriber ever holds
+	// a sequence number the journal cannot replay. An append failure (disk
+	// full) surfaces to every caller in the commit — the state change
+	// stands in memory but is not durable — and the registry keeps serving.
+	if r.journal != nil {
+		if jerr := r.journal.AppendCommit(seq, effective); jerr != nil {
+			jerr = fmt.Errorf("contq: commit %d applied but not journaled: %w", seq, jerr)
+			for _, req := range valid {
+				req.err = jerr
+			}
+		} else if r.journal.SnapshotDue() {
+			// Checkpoint under the writer lock: the canonical graph is
+			// stable here, and blocking the next commit bounds how far the
+			// snapshot can lag the head. Failures land in journal stats.
+			r.journal.WriteSnapshot(seq, r.g, r.patternDefs()) //nolint:errcheck // recorded in journal.Stats
+		}
+	}
+	for i, reg := range regs {
+		if repairErr[i] != nil {
+			continue
+		}
+		reg.publish(Event{Pattern: reg.id, Seq: seq, Delta: deltas[i]})
+	}
+	// Evict patterns whose repair panicked: their match state is
+	// undefined, so they must not serve another result or delta. Their
+	// subscribers' channels close (the unregistered signal) and the
+	// eviction is journaled so recovery agrees.
+	for i, reg := range regs {
+		if repairErr[i] != nil {
+			r.evictLocked(reg, seq)
+		}
+	}
+}
+
+// evictLocked removes a pattern whose engine is no longer trustworthy.
+// Called under writeMu (from inside a commit).
+func (r *Registry) evictLocked(reg *registration, seq uint64) {
+	r.mu.Lock()
+	cur, ok := r.pats[reg.id]
+	if !ok || cur != reg {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.pats, reg.id)
+	r.evictions++
+	r.mu.Unlock()
+	if r.journal != nil {
+		r.journal.AppendUnregister(seq, reg.id) //nolint:errcheck // recorded in journal.Stats
+	}
+	reg.mu.Lock()
+	subs := make([]*Subscription, 0, len(reg.subs))
+	for s := range reg.subs {
+		subs = append(subs, s)
+	}
+	reg.subs = make(map[*Subscription]struct{})
+	reg.mu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
+}
+
+// patternDefs serializes the registered patterns for a journal snapshot.
+func (r *Registry) patternDefs() []journal.PatternDef {
+	r.mu.RLock()
+	regs := make([]*registration, 0, len(r.pats))
+	for _, reg := range r.pats {
+		regs = append(regs, reg)
+	}
+	r.mu.RUnlock()
+	defs := make([]journal.PatternDef, 0, len(regs))
+	for _, reg := range regs {
+		var def bytes.Buffer
+		if err := reg.p.Write(&def); err != nil {
+			continue // unserializable patterns were rejected at Register
+		}
+		defs = append(defs, journal.PatternDef{ID: reg.id, Kind: string(reg.kind), Def: def.Bytes(), RegSeq: reg.regSeq})
+	}
+	return defs
 }
 
 func (r *Registry) snapshotRegs() []*registration {
@@ -452,16 +619,48 @@ func (r *Registry) snapshotRegs() []*registration {
 	return regs
 }
 
+// SubscribeOption configures a Subscribe call.
+type SubscribeOption func(*subscribeOpts)
+
+type subscribeOpts struct {
+	fromSeq uint64
+	hasFrom bool
+}
+
+// FromSeq resumes a subscription from commit sequence n: the subscriber
+// already holds the pattern's match relation as of n (from an earlier
+// snapshot plus deltas), and the subscription's events begin at n+1 with
+// the missed deltas backfilled from the journal — no snapshot re-send.
+// The returned subscription has Snapshot nil and Seq n.
+//
+// Backfill replays the journal's net update batches for (n, head] through
+// a fresh engine (the same *Delta paths live commits use), so the deltas
+// are exactly what a connected subscriber would have seen. Requires a
+// journal that still retains the range: the call fails with ErrNoJournal,
+// ErrSeqFuture, or an error wrapping journal.ErrCompacted when resumption
+// is impossible, and the caller must fall back to a fresh Subscribe.
+func FromSeq(n uint64) SubscribeOption {
+	return func(o *subscribeOpts) { o.fromSeq = n; o.hasFrom = true }
+}
+
 // Subscribe opens a match-delta subscription for pattern id. The returned
 // subscription carries the pattern's current result snapshot and the
 // commit sequence it reflects, atomically with respect to commits: the
 // first event on C is the first commit after Seq, so Snapshot plus the
 // accumulated deltas always reproduces the live result. The snapshot is
-// shared and must not be mutated (Clone it to accumulate).
+// shared and must not be mutated (Clone it to accumulate). With FromSeq,
+// the snapshot is skipped and missed deltas are backfilled instead.
 //
 // Delivery never blocks the writer: events queue in an unbounded per-
 // subscriber mailbox and drain in commit order.
-func (r *Registry) Subscribe(id string) (*Subscription, error) {
+func (r *Registry) Subscribe(id string, options ...SubscribeOption) (*Subscription, error) {
+	var o subscribeOpts
+	for _, opt := range options {
+		opt(&o)
+	}
+	if o.hasFrom {
+		return r.subscribeFrom(id, o.fromSeq)
+	}
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 	if r.closed {
@@ -474,7 +673,7 @@ func (r *Registry) Subscribe(id string) (*Subscription, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, id)
 	}
-	s := newSubscription(id, reg.m.result(), seq, reg)
+	s := newSubscription(id, reg.m.result(), seq, reg, false)
 	reg.mu.Lock()
 	reg.subs[s] = struct{}{}
 	reg.mu.Unlock()
@@ -551,14 +750,28 @@ type Stats struct {
 	UpdatesSubmitted uint64 `json:"updates_submitted"`
 	UpdatesApplied   uint64 `json:"updates_applied"`
 	UpdatesCancelled uint64 `json:"updates_cancelled"`
+	// PatternsEvicted counts patterns dropped because their engine
+	// panicked during a repair (their match state became undefined); a
+	// nonzero value means subscribers saw their streams close.
+	PatternsEvicted uint64 `json:"patterns_evicted"`
+	// Journal, when the registry has one, reports the commit log's
+	// retention and footprint (appended commits, segments, bytes, oldest
+	// retained seq).
+	Journal *journal.Stats `json:"journal,omitempty"`
 }
 
 // Stats returns the registry's current statistics without blocking behind
 // writers.
 func (r *Registry) Stats() Stats {
+	var js *journal.Stats
+	if r.journal != nil {
+		s := r.journal.Stats()
+		js = &s
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return Stats{
+		Journal:          js,
 		Patterns:         len(r.pats),
 		Seq:              r.seq,
 		Nodes:            r.g.NumNodes(),
@@ -569,11 +782,14 @@ func (r *Registry) Stats() Stats {
 		UpdatesSubmitted: r.upsSubmitted,
 		UpdatesApplied:   r.upsApplied,
 		UpdatesCancelled: r.upsSubmitted - r.upsApplied,
+		PatternsEvicted:  r.evictions,
 	}
 }
 
 // Close unregisters every pattern and cancels all subscriptions; further
-// writes fail.
+// writes fail. Any in-flight commit drains first, and a journaled
+// registry's journal is flushed and fsynced before Close returns (the
+// journal itself stays open — its owner closes it).
 func (r *Registry) Close() {
 	r.writeMu.Lock()
 	r.closed = true
@@ -581,6 +797,11 @@ func (r *Registry) Close() {
 	pats := r.pats
 	r.pats = make(map[string]*registration)
 	r.mu.Unlock()
+	if r.journal != nil {
+		// Under writeMu: every commit that ever got a seq is already
+		// appended, and no new one can start.
+		r.journal.Sync() //nolint:errcheck // recorded in journal.Stats
+	}
 	r.writeMu.Unlock()
 	for _, reg := range pats {
 		reg.mu.Lock()

@@ -1,0 +1,286 @@
+package contq
+
+import (
+	"bytes"
+	"fmt"
+
+	"gpm/internal/graph"
+	"gpm/internal/journal"
+	"gpm/internal/par"
+	"gpm/internal/pattern"
+)
+
+// This file is the replay side of the journal integration: serving raw ΔG
+// tails (Replay), resuming subscriptions from a past sequence number
+// (subscribeFrom), and rebuilding a registry from a durable journal after
+// a restart (Recover).
+
+// Replay returns the committed net update batches with sequence numbers
+// in (fromSeq, head] — everything a consumer that saw commit fromSeq has
+// missed. Fails with ErrNoJournal, ErrSeqFuture, or an error wrapping
+// journal.ErrCompacted when the range is not retained — including when
+// the journal stopped behind the registry head after an append failure:
+// a silently truncated tail would let a follower believe it is caught up
+// while commits are missing, so that case errors loudly instead. The
+// returned Updates slices are shared with the journal — do not mutate.
+func (r *Registry) Replay(fromSeq uint64) ([]journal.Commit, error) {
+	if r.journal == nil {
+		return nil, ErrNoJournal
+	}
+	// Under writeMu no commit is mid-append, so a journal head behind the
+	// registry head is a real stop (failed append), not a transient.
+	r.writeMu.Lock()
+	head := r.Seq()
+	jhead := r.journal.HeadSeq()
+	r.writeMu.Unlock()
+	if fromSeq > head {
+		return nil, fmt.Errorf("%w: %d > %d", ErrSeqFuture, fromSeq, head)
+	}
+	if jhead < head {
+		return nil, fmt.Errorf("contq: journal stopped at seq %d behind head %d: %w",
+			jhead, head, journal.ErrCompacted)
+	}
+	return r.journal.Commits(fromSeq)
+}
+
+// subscribeFrom implements Subscribe(id, FromSeq(from)): attach a live
+// subscription at the current head, then backfill the deltas for
+// (from, head] by replaying the journaled net batches through a fresh
+// engine of the pattern's kind — the same *Delta paths live commits use —
+// against a reconstruction of the graph as of from.
+//
+// The reconstruction needs no graph snapshot: journaled batches are net
+// effective updates (every one changed the graph), so applying their
+// inverses to a clone of the current graph, newest first, rewinds it
+// exactly. The backfill runs outside the writer lock; commits that land
+// meanwhile queue in the subscription's paused mailbox and are delivered
+// after the backfilled events, preserving consecutive sequence order.
+func (r *Registry) subscribeFrom(id string, from uint64) (*Subscription, error) {
+	r.writeMu.Lock()
+	if r.closed {
+		r.writeMu.Unlock()
+		return nil, ErrClosed
+	}
+	r.mu.RLock()
+	reg, ok := r.pats[id]
+	head := r.seq
+	r.mu.RUnlock()
+	if !ok {
+		r.writeMu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, id)
+	}
+	if from > head {
+		r.writeMu.Unlock()
+		return nil, fmt.Errorf("%w: %d > %d", ErrSeqFuture, from, head)
+	}
+	if from == head {
+		// Nothing missed: a live subscription without a snapshot.
+		s := newSubscription(id, nil, head, reg, false)
+		reg.mu.Lock()
+		reg.subs[s] = struct{}{}
+		reg.mu.Unlock()
+		r.writeMu.Unlock()
+		return s, nil
+	}
+	if r.journal == nil {
+		r.writeMu.Unlock()
+		return nil, ErrNoJournal
+	}
+	if from < reg.regSeq {
+		r.writeMu.Unlock()
+		return nil, fmt.Errorf("%w: seq %d predates pattern %q (registered at seq %d)",
+			journal.ErrCompacted, from, id, reg.regSeq)
+	}
+	// Snapshot the graph at head under the writer lock — a reconnect
+	// storm shares one cached clone per head, so the lock is held for one
+	// O(|G|) copy at most — and attach the paused subscription atomically
+	// with it, so the mailbox sees every commit > head. The journal scan
+	// and the private working copy happen after the lock is released: a
+	// cold resume that misses the memory ring reads disk segments, and
+	// that must not stall every writer behind one reconnecting client.
+	shared := r.resumeClone(head)
+	s := newSubscription(id, nil, from, reg, true)
+	reg.mu.Lock()
+	reg.subs[s] = struct{}{}
+	reg.mu.Unlock()
+	r.writeMu.Unlock()
+	base := shared.Clone() // private: backfill rewinds and replays in place
+
+	fail := func(err error) (*Subscription, error) {
+		reg.detach(s)
+		s.close()
+		s.start() // closes C for any racing reader
+		return nil, err
+	}
+	recs, err := r.journal.Commits(from)
+	if err != nil {
+		return fail(fmt.Errorf("contq: replay from %d: %w", from, err))
+	}
+	// Commits that landed after head are already queued in the paused
+	// mailbox as live events; backfill must stop exactly at head.
+	for len(recs) > 0 && recs[len(recs)-1].Seq > head {
+		recs = recs[:len(recs)-1]
+	}
+	if uint64(len(recs)) != head-from || recs[0].Seq != from+1 || recs[len(recs)-1].Seq != head {
+		return fail(fmt.Errorf("contq: journal gap replaying (%d, %d]: %w", from, head, journal.ErrCompacted))
+	}
+	events, err := r.backfill(reg, base, recs)
+	if err != nil {
+		return fail(err)
+	}
+	s.prepend(events)
+	s.start()
+	return s, nil
+}
+
+// resumeClone returns the shared immutable clone of the canonical graph
+// at head, building it on first use. Called under writeMu (the graph is
+// stable); the cache is invalidated by every commit.
+func (r *Registry) resumeClone(head uint64) *graph.Graph {
+	r.resumeMu.Lock()
+	defer r.resumeMu.Unlock()
+	if r.resumeG == nil || r.resumeSeq != head {
+		r.resumeG = r.g.Clone()
+		r.resumeSeq = head
+	}
+	return r.resumeG
+}
+
+// backfill rewinds base (the graph at the newest replayed seq) to the
+// state before recs[0], then replays the batches forward through a fresh
+// matcher, collecting one event per commit.
+func (r *Registry) backfill(reg *registration, base *graph.Graph, recs []journal.Commit) ([]Event, error) {
+	for i := len(recs) - 1; i >= 0; i-- {
+		ups := recs[i].Updates
+		for k := len(ups) - 1; k >= 0; k-- {
+			if _, err := base.Apply(ups[k].Inverse()); err != nil {
+				return nil, fmt.Errorf("contq: rewinding to seq %d: %w", recs[0].Seq-1, err)
+			}
+		}
+	}
+	m, err := newMatcher(reg.kind, reg.p, base, r.engineW)
+	if err != nil {
+		return nil, fmt.Errorf("contq: rebuilding %q engine for replay: %w", reg.id, err)
+	}
+	events := make([]Event, 0, len(recs))
+	for _, rec := range recs {
+		ev := Event{Pattern: reg.id, Seq: rec.Seq}
+		if len(rec.Updates) > 0 {
+			ev.Delta = m.apply(rec.Updates)
+			// The shared-storage protocol: the engine dropped its overlay,
+			// so commit the batch to the replay base before the next one.
+			if _, err := base.ApplyAll(rec.Updates); err != nil {
+				return nil, fmt.Errorf("contq: replaying seq %d: %w", rec.Seq, err)
+			}
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// Recover rebuilds a registry from a durable journal: load the latest
+// snapshot (graph + standing patterns at a past seq), replay the record
+// tail — commits through the engines' *Delta paths, registrations and
+// unregistrations in order — and attach the journal for future appends.
+// The recovered registry serves results at the journal's head sequence
+// and accepts new commits from there.
+//
+// Do not pass WithJournal in options; the journal argument is attached
+// once replay completes (so replayed records are not re-appended).
+func Recover(j *journal.Journal, options ...Option) (*Registry, error) {
+	snap, tail := j.RecoveredState()
+	g := graph.New()
+	var seq uint64
+	var pats []journal.PatternDef
+	if snap != nil {
+		g, seq, pats = snap.Graph, snap.Seq, snap.Patterns
+	}
+	r := New(g, options...)
+	r.seq = seq
+	for _, pd := range pats {
+		// The snapshot preserves the original registration seq, so resumes
+		// reaching back before the snapshot (into journal history the
+		// compactor retained) are not wrongly rejected after a restart.
+		if err := r.recoverPattern(pd.ID, pd.Kind, pd.Def, pd.RegSeq); err != nil {
+			return nil, err
+		}
+	}
+	for _, rec := range tail {
+		switch rec.Type {
+		case journal.RecCommit:
+			if err := r.replayCommit(rec.Seq, rec.Updates); err != nil {
+				return nil, err
+			}
+		case journal.RecRegister:
+			if err := r.recoverPattern(rec.ID, rec.Kind, rec.Def, rec.Seq); err != nil {
+				return nil, err
+			}
+		case journal.RecUnregister:
+			r.Unregister(rec.ID)
+		}
+	}
+	r.journal = j
+	return r, nil
+}
+
+// recoverPattern re-registers a journaled pattern definition.
+func (r *Registry) recoverPattern(id, kind string, def []byte, regSeq uint64) error {
+	p, err := pattern.Parse(bytes.NewReader(def))
+	if err != nil {
+		return fmt.Errorf("contq: recovering pattern %q: %w", id, err)
+	}
+	if err := r.Register(id, p, Kind(kind)); err != nil {
+		return fmt.Errorf("contq: recovering pattern %q: %w", id, err)
+	}
+	r.mu.Lock()
+	r.pats[id].regSeq = regSeq
+	r.mu.Unlock()
+	return nil
+}
+
+// replayCommit re-applies one journaled commit during recovery: fan the
+// net batch out to the engines, mutate the canonical graph once, and set
+// the sequence — the live commit path minus callers, journaling and
+// subscribers (none exist yet). Engine panics are contained exactly as
+// on the live path (the pattern is evicted, recovery continues): the
+// journal may hold the very batch that made an engine panic before the
+// crash, and replaying it must not turn into a permanent startup crash
+// loop.
+func (r *Registry) replayCommit(seq uint64, ups []graph.Update) error {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	regs := r.snapshotRegs()
+	repairErr := make([]error, len(regs))
+	if len(ups) > 0 {
+		par.For(len(regs), r.workers, func(_, i int) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					repairErr[i] = fmt.Errorf("contq: pattern %q replay panicked: %v", regs[i].id, rec)
+				}
+			}()
+			regs[i].m.apply(ups)
+		})
+	}
+	r.mu.Lock()
+	if len(ups) > 0 {
+		if _, err := r.g.ApplyAll(ups); err != nil {
+			r.mu.Unlock()
+			return fmt.Errorf("contq: replaying commit %d: %w", seq, err)
+		}
+	}
+	r.seq = seq
+	// A replayed commit counts as one apply whose updates were already
+	// net (no coalescing visible), keeping Stats' Applies-Commits and
+	// Submitted-Applied differences from underflowing after Recover.
+	r.commits++
+	r.applies++
+	r.upsSubmitted += uint64(len(ups))
+	r.upsApplied += uint64(len(ups))
+	r.mu.Unlock()
+	for i, reg := range regs {
+		if repairErr[i] != nil {
+			r.evictLocked(reg, seq)
+		}
+	}
+	return nil
+}

@@ -24,26 +24,62 @@ type Subscription struct {
 
 	reg  *registration
 	done chan struct{}
+	out  chan Event
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Event
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Event
+	closed  bool
+	started bool
 }
 
-func newSubscription(id string, snapshot rel.Relation, seq uint64, reg *registration) *Subscription {
-	out := make(chan Event)
+// newSubscription builds a subscription. A paused subscription collects
+// events in its mailbox but does not deliver until start — the window in
+// which a FromSeq resume backfills missed deltas ahead of the live feed.
+func newSubscription(id string, snapshot rel.Relation, seq uint64, reg *registration, paused bool) *Subscription {
 	s := &Subscription{
-		C:        out,
 		Snapshot: snapshot,
 		Seq:      seq,
 		Pattern:  id,
 		reg:      reg,
 		done:     make(chan struct{}),
+		out:      make(chan Event),
 	}
+	s.C = s.out
 	s.cond = sync.NewCond(&s.mu)
-	go s.pump(out)
+	if !paused {
+		s.start()
+	}
 	return s
+}
+
+// start launches the delivery pump (idempotent). Starting a subscription
+// that was cancelled while paused just closes C.
+func (s *Subscription) start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	if s.closed {
+		s.mu.Unlock()
+		close(s.out)
+		return
+	}
+	s.mu.Unlock()
+	go s.pump(s.out)
+}
+
+// prepend queues events ahead of everything already in the mailbox; only
+// valid before start (the pump may already have taken the queue's head
+// otherwise).
+func (s *Subscription) prepend(evs []Event) {
+	s.mu.Lock()
+	if !s.closed && len(evs) > 0 {
+		s.queue = append(append(make([]Event, 0, len(evs)+len(s.queue)), evs...), s.queue...)
+	}
+	s.mu.Unlock()
 }
 
 // push enqueues one event; called by the registry's publisher. Never

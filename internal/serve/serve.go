@@ -16,7 +16,14 @@
 //	DELETE  /patterns/{id}          —                unregister, close streams
 //	POST    /updates                update text      commit batch, fan out deltas
 //	GET     /patterns/{id}/stream   —                SSE: snapshot, then deltas
-//	GET     /stats                  —                registry + coalescing stats
+//	GET     /commits?from=N         —                raw ΔG tail after seq N
+//	GET     /stats                  —                registry + journal stats
+//
+// Streams resume: every SSE frame carries its commit sequence as the SSE
+// id, so a dropped client reconnects with the standard Last-Event-ID
+// header (or ?from=N) and receives exactly the deltas it missed — no
+// snapshot re-send — as long as the registry's journal still retains the
+// range; otherwise the server falls back to a fresh snapshot frame.
 package serve
 
 import (
@@ -24,26 +31,53 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"gpm/internal/contq"
 	"gpm/internal/graph"
+	"gpm/internal/journal"
 	"gpm/internal/pattern"
 	"gpm/internal/rel"
 )
 
-// Server wraps a contq.Registry with the HTTP surface. Construct with New.
+// Server wraps a contq.Registry with the HTTP surface. Construct with New
+// (in-memory journal: streams resume, nothing survives the process) or
+// NewWithJournal (durable journal: crash recovery too).
 type Server struct {
-	mu   sync.RWMutex // guards the registry pointer (swapped by POST /graph)
-	reg  *contq.Registry
-	opts []contq.Option // re-applied to every registry a graph swap creates
-	mux  *http.ServeMux
+	mu      sync.RWMutex // guards the registry pointer (swapped by POST /graph)
+	reg     *contq.Registry
+	opts    []contq.Option // re-applied to every registry a graph swap creates
+	journal *journal.Journal
+	mux     *http.ServeMux
 }
 
-// New builds a server over an initially empty graph. POST /graph installs
-// a real one.
+// New builds a server over an initially empty graph with a memory-only
+// journal, so SSE streams are resumable out of the box. POST /graph
+// installs a real graph.
 func New(options ...contq.Option) *Server {
-	s := &Server{reg: contq.New(graph.New(), options...), opts: options}
+	s := &Server{opts: options, journal: journal.New()}
+	s.reg = contq.New(graph.New(), s.registryOpts()...)
+	s.initMux()
+	return s
+}
+
+// NewWithJournal builds a server whose state is recovered from (and
+// journaled to) j — typically a durable journal.Open directory: the
+// graph, standing patterns and commit sequence are rebuilt from the
+// latest snapshot plus the record tail, and every later commit is
+// appended. The server does not close j; the caller does, after Close.
+func NewWithJournal(j *journal.Journal, options ...contq.Option) (*Server, error) {
+	reg, err := contq.Recover(j, options...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, opts: options, journal: j}
+	s.initMux()
+	return s, nil
+}
+
+func (s *Server) initMux() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /graph", s.loadGraph)
 	mux.HandleFunc("GET /graph", s.graphInfo)
@@ -53,9 +87,17 @@ func New(options ...contq.Option) *Server {
 	mux.HandleFunc("DELETE /patterns/{id}", s.unregister)
 	mux.HandleFunc("POST /updates", s.updates)
 	mux.HandleFunc("GET /patterns/{id}/stream", s.stream)
+	mux.HandleFunc("GET /commits", s.commits)
 	mux.HandleFunc("GET /stats", s.stats)
 	s.mux = mux
-	return s
+}
+
+// registryOpts is the option set for a fresh registry: the caller's
+// options plus the server's journal.
+func (s *Server) registryOpts() []contq.Option {
+	opts := make([]contq.Option, 0, len(s.opts)+1)
+	opts = append(opts, s.opts...)
+	return append(opts, contq.WithJournal(s.journal))
 }
 
 // ServeHTTP implements http.Handler.
@@ -68,18 +110,38 @@ func (s *Server) registry() *contq.Registry {
 	return s.reg
 }
 
-// Close shuts the underlying registry down, ending all streams.
+// Journal returns the server's journal (never nil; memory-only for New).
+func (s *Server) Journal() *journal.Journal { return s.journal }
+
+// Registry returns the server's current registry — for in-process
+// embedding and startup introspection. POST /graph swaps it; re-read
+// rather than retain.
+func (s *Server) Registry() *contq.Registry { return s.registry() }
+
+// Close shuts the underlying registry down, ending all streams and
+// flushing the journal. The journal itself stays open — its owner closes
+// it after the HTTP server has drained.
 func (s *Server) Close() { s.registry().Close() }
 
-// LoadGraph installs g behind a fresh registry — the in-process equivalent
-// of POST /graph. The server takes ownership of g; all previously
-// registered patterns and streams are dropped.
-func (s *Server) LoadGraph(g *graph.Graph) {
+// LoadGraph installs g behind a fresh registry — the in-process
+// equivalent of POST /graph. The server takes ownership of g; all
+// previously registered patterns and streams are dropped, and the
+// journal is reset to a new world starting at g (for durable journals,
+// the old history is deleted and g is checkpointed at seq 0).
+func (s *Server) LoadGraph(g *graph.Graph) error {
 	s.mu.Lock()
-	old := s.reg
-	s.reg = contq.New(g, s.opts...)
-	s.mu.Unlock()
-	old.Close()
+	defer s.mu.Unlock()
+	// Close the old registry first: it drains any in-flight commit, so no
+	// stale append can land in the journal after the reset below.
+	s.reg.Close()
+	if err := s.journal.Reset(g); err != nil {
+		// The old registry is gone; install the new one anyway so the
+		// server stays consistent — the journal failure is surfaced.
+		s.reg = contq.New(g, s.registryOpts()...)
+		return err
+	}
+	s.reg = contq.New(g, s.registryOpts()...)
+	return nil
 }
 
 // pairJSON is one (pattern node, data node) match pair on the wire.
@@ -115,7 +177,10 @@ func (s *Server) loadGraph(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.LoadGraph(g)
+	if err := s.LoadGraph(g); err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("graph loaded but journal reset failed: %w", err))
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"nodes": g.NumNodes(), "edges": g.NumEdges()})
 }
 
@@ -204,29 +269,67 @@ func (s *Server) updates(w http.ResponseWriter, r *http.Request) {
 	}
 	seq, err := s.registry().Apply(ups)
 	if err != nil {
+		// seq != 0 means the batch WAS committed and published but a
+		// server-side step after it failed (journal append): that is a
+		// 5xx carrying the assigned seq, not a rejected request — a 4xx
+		// would tell the client its state diverged when it did not.
+		if seq != 0 {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"seq": seq, "updates": len(ups), "error": err.Error(),
+			})
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "updates": len(ups)})
 }
 
-// sseEvent writes one SSE frame and flushes it.
-func sseEvent(w http.ResponseWriter, f http.Flusher, event string, v any) error {
+// sseEvent writes one SSE frame — with its commit sequence as the SSE id,
+// so clients can resume via Last-Event-ID — and flushes it.
+func sseEvent(w http.ResponseWriter, f http.Flusher, event string, seq uint64, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+	if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, seq, data); err != nil {
 		return err
 	}
 	f.Flush()
 	return nil
 }
 
+// resumeSeq extracts the client's resume point. The standard
+// Last-Event-ID header wins over ?from=N: an EventSource opened with
+// ?from= keeps the stale query parameter on every auto-reconnect but
+// sends the up-to-date header, and honoring the query would replay
+// already-delivered deltas. ok reports whether a resume was requested.
+func resumeSeq(r *http.Request) (seq uint64, ok bool, err error) {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("from")
+	}
+	if raw == "" {
+		return 0, false, nil
+	}
+	seq, err = strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad resume seq %q: %w", raw, err)
+	}
+	return seq, true, nil
+}
+
 // stream serves the match-delta subscription over SSE: one "snapshot"
 // event carrying the full result and its commit sequence, then one
 // "delta" event per commit, in commit order, until the client disconnects
 // or the pattern is unregistered.
+//
+// A client reconnecting with Last-Event-ID: N (or ?from=N) resumes
+// instead: no snapshot is re-sent, and delivery begins at seq N+1 with
+// the missed deltas backfilled from the registry's journal. When the
+// journal no longer retains the range (compacted, or the seq is ahead of
+// a recovered head), the server falls back to the snapshot path — the
+// client detects this by receiving a "snapshot" event and rebases.
 func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -234,9 +337,30 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	sub, err := s.registry().Subscribe(id)
+	from, resume, err := resumeSeq(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	reg := s.registry()
+	var sub *contq.Subscription
+	if resume {
+		sub, err = reg.Subscribe(id, contq.FromSeq(from))
+		if err != nil && !errors.Is(err, contq.ErrNotRegistered) && !errors.Is(err, contq.ErrClosed) {
+			// Unresumable (journal compacted, seq ahead of a recovered
+			// head): fall back to a fresh snapshot subscription.
+			resume = false
+			sub, err = reg.Subscribe(id)
+		}
+	} else {
+		sub, err = reg.Subscribe(id)
+	}
+	if err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, contq.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err)
 		return
 	}
 	defer sub.Cancel()
@@ -244,11 +368,17 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	snap := map[string]any{
-		"id": id, "seq": sub.Seq, "size": sub.Snapshot.Size(), "pairs": pairsJSON(sub.Snapshot.Pairs()),
-	}
-	if err := sseEvent(w, flusher, "snapshot", snap); err != nil {
-		return
+	// Push the headers out now: a resumed stream sends no snapshot frame,
+	// and without this flush a reconnecting client would sit in
+	// CONNECTING until the next commit produced its first event.
+	flusher.Flush()
+	if !resume {
+		snap := map[string]any{
+			"id": id, "seq": sub.Seq, "size": sub.Snapshot.Size(), "pairs": pairsJSON(sub.Snapshot.Pairs()),
+		}
+		if err := sseEvent(w, flusher, "snapshot", sub.Seq, snap); err != nil {
+			return
+		}
 	}
 	for {
 		select {
@@ -262,9 +392,50 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 				"id": ev.Pattern, "seq": ev.Seq,
 				"added": pairsJSON(ev.Delta.Added), "removed": pairsJSON(ev.Delta.Removed),
 			}
-			if err := sseEvent(w, flusher, "delta", frame); err != nil {
+			if err := sseEvent(w, flusher, "delta", ev.Seq, frame); err != nil {
 				return
 			}
 		}
 	}
+}
+
+// commits serves the raw ΔG tail: every committed net update batch with
+// seq > from, for consumers that follow the graph itself rather than a
+// pattern's match (bootstrapping a follower, audit, change-data capture).
+func (s *Server) commits(w http.ResponseWriter, r *http.Request) {
+	var from uint64
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from seq %q: %w", raw, err))
+			return
+		}
+		from = v
+	}
+	reg := s.registry()
+	recs, err := reg.Replay(from)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, journal.ErrCompacted):
+			status = http.StatusGone // resync from a snapshot (GET /graph + /result)
+		case errors.Is(err, contq.ErrSeqFuture):
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
+		return
+	}
+	out := make([]map[string]any, 0, len(recs))
+	for _, rec := range recs {
+		ups := make([]map[string]any, 0, len(rec.Updates))
+		for _, up := range rec.Updates {
+			op := "insert"
+			if up.Op == graph.DeleteEdge {
+				op = "delete"
+			}
+			ups = append(ups, map[string]any{"op": op, "from": up.From, "to": up.To})
+		}
+		out = append(out, map[string]any{"seq": rec.Seq, "updates": ups})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"from": from, "head": reg.Seq(), "commits": out})
 }
