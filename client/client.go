@@ -1,0 +1,311 @@
+// Package client is the typed Go SDK for gpserve's v1 wire API: the
+// continuous-query server behind cmd/gpserve (and any embedding of
+// internal/serve). It covers every endpoint — graph loading, standing
+// pattern registration, update ingestion, results, raw commit tails,
+// stats, health — plus Stream, a match-delta subscription that delivers
+// typed events on a channel and transparently survives disconnects and
+// server restarts by resuming with the SSE Last-Event-ID contract.
+//
+// Every method takes a context.Context and returns promptly when it is
+// canceled. Server-side failures are returned as *APIError carrying the
+// wire envelope's stable machine-readable code.
+//
+// A minimal session:
+//
+//	c := client.New("http://localhost:8080")
+//	c.LoadGraph(ctx, g)
+//	c.Register(ctx, "watch", p, gpm.KindAuto)
+//	st, _ := c.Stream(ctx, "watch")
+//	go func() {
+//		for ev := range st.C {
+//			fmt.Println(ev.Type, ev.Seq, ev.Added, ev.Removed)
+//		}
+//	}()
+//	c.Apply(ctx, []gpm.Update{gpm.Insert(3, 7)})
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"gpm"
+)
+
+// Client talks to one gpserve instance. Construct with New; the zero
+// value is not usable. Clients are safe for concurrent use.
+type Client struct {
+	base       string
+	hc         *http.Client
+	backoffMin time.Duration // Stream reconnect backoff floor
+	backoffMax time.Duration // ... and ceiling
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default is a dedicated client with no
+// global timeout — streams are long-lived; bound individual calls with
+// their contexts.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithBackoff bounds Stream's reconnect backoff (default 100ms..5s,
+// doubling per consecutive failure, reset by a successful connection).
+func WithBackoff(min, max time.Duration) Option {
+	return func(c *Client) {
+		if min > 0 {
+			c.backoffMin = min
+		}
+		if max >= c.backoffMin {
+			c.backoffMax = max
+		}
+	}
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://localhost:8080"); a trailing slash is tolerated.
+func New(baseURL string, options ...Option) *Client {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	c := &Client{
+		base:       baseURL,
+		hc:         &http.Client{},
+		backoffMin: 100 * time.Millisecond,
+		backoffMax: 5 * time.Second,
+	}
+	for _, o := range options {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the server: the HTTP status plus
+// the v1 error envelope {code, message, seq?}. Code is the stable
+// machine-readable contract — switch on it, not on Message. Seq is
+// nonzero only for code "journal_failed": the batch WAS committed at that
+// sequence but is not durable.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+	Seq     uint64
+}
+
+func (e *APIError) Error() string {
+	if e.Seq != 0 {
+		return fmt.Sprintf("gpserve: %s (http %d, seq %d): %s", e.Code, e.Status, e.Seq, e.Message)
+	}
+	return fmt.Sprintf("gpserve: %s (http %d): %s", e.Code, e.Status, e.Message)
+}
+
+// The envelope codes of the v1 wire contract, mirrored for callers that
+// switch on APIError.Code without importing the server.
+const (
+	CodeInvalidGraph      = "invalid_graph"
+	CodeInvalidPattern    = "invalid_pattern"
+	CodeInvalidUpdates    = "invalid_updates"
+	CodeInvalidKind       = "invalid_kind"
+	CodeInvalidSeq        = "invalid_seq"
+	CodeNotFound          = "not_found"
+	CodeAlreadyRegistered = "already_registered"
+	CodeClosed            = "closed"
+	CodeCompacted         = "compacted"
+	CodeSeqFuture         = "seq_future"
+	CodeMethodNotAllowed  = "method_not_allowed"
+	CodeNotReady          = "not_ready"
+	CodeJournalFailed     = "journal_failed"
+	CodeInternal          = "internal"
+)
+
+// apiError decodes the error envelope of a non-2xx response.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	e := &APIError{Status: resp.StatusCode}
+	var env struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+		Seq     uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Code != "" {
+		e.Code, e.Message, e.Seq = env.Code, env.Message, env.Seq
+	} else {
+		e.Code, e.Message = CodeInternal, string(bytes.TrimSpace(body))
+	}
+	return e
+}
+
+// do runs one JSON round trip: marshal in (when non-nil) as the request
+// body, decode the response into out (when non-nil). Errors are ctx
+// errors, transport errors, or *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// GraphInfo describes the server's canonical graph and commit head.
+type GraphInfo struct {
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	Seq      uint64 `json:"seq"`
+	Patterns int    `json:"patterns"`
+}
+
+// PatternInfo describes one registered standing pattern.
+type PatternInfo struct {
+	ID          string         `json:"id"`
+	Kind        gpm.EngineKind `json:"kind"`
+	Nodes       int            `json:"nodes"`
+	Edges       int            `json:"edges"`
+	Subscribers int            `json:"subscribers"`
+	ResultSize  int            `json:"result_size"`
+}
+
+// Result is one pattern's current match relation at a commit sequence.
+type Result struct {
+	ID    string     `json:"id"`
+	Seq   uint64     `json:"seq"`
+	Size  int        `json:"size"`
+	Pairs []gpm.Pair `json:"pairs"`
+}
+
+// Commit is one committed net update batch of the raw ΔG tail.
+type Commit struct {
+	Seq     uint64       `json:"seq"`
+	Updates []gpm.Update `json:"updates"`
+}
+
+// CommitTail is GET /v1/commits' response: the committed batches with
+// sequence in (From, Head].
+type CommitTail struct {
+	From    uint64   `json:"from"`
+	Head    uint64   `json:"head"`
+	Commits []Commit `json:"commits"`
+}
+
+// LoadGraph installs g as the server's canonical graph — a new world: all
+// standing patterns and streams are dropped and the commit sequence
+// restarts at 0.
+func (c *Client) LoadGraph(ctx context.Context, g *gpm.Graph) (GraphInfo, error) {
+	var out GraphInfo
+	err := c.do(ctx, http.MethodPost, "/v1/graph", g, &out)
+	return out, err
+}
+
+// GraphInfo reports the canonical graph's size, commit head and pattern
+// count.
+func (c *Client) GraphInfo(ctx context.Context) (GraphInfo, error) {
+	var out GraphInfo
+	err := c.do(ctx, http.MethodGet, "/v1/graph", nil, &out)
+	return out, err
+}
+
+// Register installs p as a standing pattern under id, backed by the
+// engine for kind (gpm.KindAuto picks one from the pattern's shape).
+// The returned PatternInfo carries the kind the server resolved — never
+// "auto".
+func (c *Client) Register(ctx context.Context, id string, p *gpm.Pattern, kind gpm.EngineKind) (PatternInfo, error) {
+	out := PatternInfo{ID: id, Kind: kind} // overwritten by the response's resolved kind
+	path := "/v1/patterns/" + url.PathEscape(id)
+	if kind != "" {
+		path += "?kind=" + url.QueryEscape(string(kind))
+	}
+	err := c.do(ctx, http.MethodPut, path, p, &out)
+	return out, err
+}
+
+// Unregister removes a standing pattern, closing its streams.
+func (c *Client) Unregister(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/patterns/"+url.PathEscape(id), nil, nil)
+}
+
+// Patterns lists the registered standing patterns.
+func (c *Client) Patterns(ctx context.Context) ([]PatternInfo, error) {
+	var out struct {
+		Patterns []PatternInfo `json:"patterns"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/patterns", nil, &out)
+	return out.Patterns, err
+}
+
+// Result fetches pattern id's current match relation.
+func (c *Client) Result(ctx context.Context, id string) (Result, error) {
+	var out Result
+	err := c.do(ctx, http.MethodGet, "/v1/patterns/"+url.PathEscape(id)+"/result", nil, &out)
+	return out, err
+}
+
+// Apply commits one batch of edge updates and returns the commit's
+// sequence number. An *APIError with code "journal_failed" means the
+// batch WAS committed (at the error's Seq) but is not durable.
+func (c *Client) Apply(ctx context.Context, ups []gpm.Update) (uint64, error) {
+	if ups == nil {
+		ups = []gpm.Update{} // an empty batch is valid; null is not a batch
+	}
+	var out struct {
+		Seq uint64 `json:"seq"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/updates", ups, &out)
+	return out.Seq, err
+}
+
+// Commits fetches the raw ΔG tail after sequence from — every committed
+// net batch a consumer at from has missed. Code "compacted" (HTTP 410)
+// means the journal no longer retains the range: resync from a snapshot.
+func (c *Client) Commits(ctx context.Context, from uint64) (CommitTail, error) {
+	var out CommitTail
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/commits?from=%d", from), nil, &out)
+	return out, err
+}
+
+// Stats fetches the registry and journal statistics.
+func (c *Client) Stats(ctx context.Context) (gpm.RegistryStats, error) {
+	var out gpm.RegistryStats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Healthz probes liveness; nil means the server is up.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Readyz probes readiness; nil means the registry accepts writes and the
+// journal accepts appends (an *APIError with code "not_ready" otherwise).
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/readyz", nil, nil)
+}

@@ -1,0 +1,329 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"gpm"
+)
+
+// EventType discriminates stream events.
+type EventType string
+
+const (
+	// EventSnapshot carries a pattern's full match relation at Seq — the
+	// stream's starting state, and the rebase signal after a resume the
+	// server could no longer backfill (journal compacted): discard the
+	// accumulated state and start over from Pairs.
+	EventSnapshot EventType = "snapshot"
+	// EventDelta carries one commit's match change ΔM.
+	EventDelta EventType = "delta"
+)
+
+// MatchEvent is one typed stream event. For EventSnapshot, Pairs is the
+// full relation at Seq; for EventDelta, Added and Removed are the
+// commit's ΔM (either may be empty — every commit produces an event, so
+// Seq advances by exactly one per delta).
+type MatchEvent struct {
+	Type    EventType
+	Pattern string
+	Seq     uint64
+	Pairs   []gpm.Pair // snapshot only
+	Added   []gpm.Pair // delta only
+	Removed []gpm.Pair // delta only
+}
+
+// StreamOption configures a Stream call.
+type StreamOption func(*streamOpts)
+
+type streamOpts struct {
+	fromSeq uint64
+	hasFrom bool
+}
+
+// FromSeq resumes the stream from commit sequence n: the caller already
+// holds the relation as of n, so no snapshot is sent and delivery starts
+// at n+1 (backfilled from the server's journal). If the server no longer
+// retains the range it falls back to a snapshot event — handle
+// EventSnapshot by rebasing.
+func FromSeq(n uint64) StreamOption {
+	return func(o *streamOpts) { o.fromSeq = n; o.hasFrom = true }
+}
+
+// Stream is a live match-delta subscription. Events arrive on C in
+// commit order with consecutive sequence numbers. The stream survives
+// disconnects and server restarts: it reconnects with exponential
+// backoff, resuming from the last delivered sequence via the SSE
+// Last-Event-ID contract, and deduplicates any overlap — consumers never
+// see a sequence twice or a gap without an interleaved EventSnapshot.
+//
+// C closes when the stream ends: context canceled, Close called, or a
+// terminal server answer (pattern unregistered → "not_found", resume
+// unresumable, or any other non-retryable APIError). Err reports the
+// cause (nil after a plain Close or context cancellation).
+type Stream struct {
+	C <-chan MatchEvent
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// Close tears the stream down: the connection drops, the goroutine
+// exits and C closes. Safe to call more than once.
+func (s *Stream) Close() {
+	s.cancel()
+	<-s.done
+}
+
+// Err returns the terminal error after C closed (nil for a clean close
+// or cancellation).
+func (s *Stream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Stream) setErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Stream opens a match-delta subscription for pattern id. The first
+// connection is established synchronously, so an immediately-broken
+// subscription (unknown pattern, unreachable server) fails here rather
+// than on C. Events then flow on the returned stream's C until ctx is
+// canceled, Close is called, or a terminal server condition ends it.
+func (c *Client) Stream(ctx context.Context, id string, options ...StreamOption) (*Stream, error) {
+	var o streamOpts
+	for _, opt := range options {
+		opt(&o)
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	st := &Stream{cancel: cancel, done: make(chan struct{})}
+	ch := make(chan MatchEvent)
+	st.C = ch
+
+	cs := &streamConn{
+		c:       c,
+		id:      id,
+		lastSeq: o.fromSeq,
+		haveSeq: o.hasFrom,
+	}
+	// Synchronous first connect: fail fast on anything that backoff-and-
+	// retry cannot fix.
+	resp, err := cs.connect(sctx)
+	if err != nil && cs.retryable(err) {
+		// A down server is not a setup error — the whole point of the
+		// reconnecting stream is to ride through it. Enter the retry loop.
+		resp = nil
+	} else if err != nil {
+		cancel()
+		close(st.done)
+		return nil, err
+	}
+	go cs.run(sctx, st, ch, resp)
+	return st, nil
+}
+
+// streamConn is the reconnect state machine behind one Stream.
+type streamConn struct {
+	c       *Client
+	id      string
+	lastSeq uint64 // newest delivered (or resumed-from) sequence
+	haveSeq bool   // lastSeq is meaningful: resume instead of snapshotting
+}
+
+// retryable reports whether an error is worth a backoff-and-reconnect:
+// transport failures and explicitly transient server states are; typed
+// client errors (pattern gone, bad resume) are terminal.
+func (cs *streamConn) retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		// "closed" is a server shutting down — the restart we are designed
+		// to ride through. Everything else typed is terminal.
+		return apiErr.Code == CodeClosed || apiErr.Status >= 500
+	}
+	// Transport-level failure (connection refused/reset, EOF): retry.
+	return true
+}
+
+// connect opens one SSE request, resuming via Last-Event-ID when a
+// sequence is held.
+func (cs *streamConn) connect(ctx context.Context) (*http.Response, error) {
+	u := cs.c.base + "/v1/patterns/" + url.PathEscape(cs.id) + "/stream"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if cs.haveSeq {
+		req.Header.Set("Last-Event-ID", fmt.Sprintf("%d", cs.lastSeq))
+	}
+	resp, err := cs.c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, apiError(resp)
+	}
+	return resp, nil
+}
+
+// run is the delivery loop: read frames, deliver deduplicated events,
+// reconnect with exponential backoff on drops, stop on ctx or terminal
+// errors.
+func (cs *streamConn) run(ctx context.Context, st *Stream, ch chan<- MatchEvent, resp *http.Response) {
+	defer close(st.done)
+	defer close(ch)
+	backoff := cs.c.backoffMin
+	for {
+		if resp == nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			var err error
+			resp, err = cs.connect(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				if !cs.retryable(err) {
+					st.setErr(err)
+					return
+				}
+				resp = nil
+				if backoff *= 2; backoff > cs.c.backoffMax {
+					backoff = cs.c.backoffMax
+				}
+				continue
+			}
+		}
+		delivered, err := cs.consume(ctx, ch, resp)
+		resp.Body.Close()
+		resp = nil
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			// consume only errors on protocol violations (unparseable
+			// frames); reconnecting would hit the same wire. Terminal.
+			st.setErr(err)
+			return
+		}
+		// The connection dropped (server restart, network): reconnect,
+		// resuming after the last delivered sequence. A connection that
+		// delivered something resets the backoff.
+		if delivered {
+			backoff = cs.c.backoffMin
+		} else if backoff *= 2; backoff > cs.c.backoffMax {
+			backoff = cs.c.backoffMax
+		}
+	}
+}
+
+// snapshotFrame and deltaFrame mirror the server's SSE data documents.
+type snapshotFrame struct {
+	ID    string     `json:"id"`
+	Seq   uint64     `json:"seq"`
+	Pairs []gpm.Pair `json:"pairs"`
+}
+
+type deltaFrame struct {
+	ID      string     `json:"id"`
+	Seq     uint64     `json:"seq"`
+	Added   []gpm.Pair `json:"added"`
+	Removed []gpm.Pair `json:"removed"`
+}
+
+// consume reads SSE frames off one connection until it drops, delivering
+// typed events. It reports whether anything was delivered (for backoff
+// reset). A nil error is a plain connection drop.
+func (cs *streamConn) consume(ctx context.Context, ch chan<- MatchEvent, resp *http.Response) (delivered bool, err error) {
+	// A dropped connection must unblock the scanner even between frames:
+	// closing the body on ctx cancellation does that.
+	stop := context.AfterFunc(ctx, func() { resp.Body.Close() })
+	defer stop()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if event == "" {
+				continue
+			}
+			ev, ok, perr := cs.parse(event, data)
+			event, data = "", ""
+			if perr != nil {
+				return delivered, perr
+			}
+			if !ok {
+				continue // duplicate of an already-delivered sequence
+			}
+			select {
+			case ch <- ev:
+				delivered = true
+			case <-ctx.Done():
+				return delivered, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && errors.Is(err, bufio.ErrTooLong) {
+		// Deterministic: the server would resend the same oversized frame
+		// on every reconnect, so retrying loops forever. Terminal.
+		return delivered, fmt.Errorf("client: SSE frame exceeds the stream buffer: %w", err)
+	}
+	return delivered, nil // drop (EOF or close); the caller decides retry
+}
+
+// parse turns one SSE frame into a MatchEvent, updating the resume
+// cursor. ok is false for frames the consumer already saw (the dedup
+// that makes reconnect overlap invisible).
+func (cs *streamConn) parse(event, data string) (ev MatchEvent, ok bool, err error) {
+	switch EventType(event) {
+	case EventSnapshot:
+		var f snapshotFrame
+		if err := json.Unmarshal([]byte(data), &f); err != nil {
+			return ev, false, fmt.Errorf("client: bad snapshot frame: %w", err)
+		}
+		// A snapshot is always delivered: on first connect it is the
+		// starting state, on reconnect it is the server's rebase signal
+		// (journal compacted past our cursor).
+		cs.lastSeq, cs.haveSeq = f.Seq, true
+		return MatchEvent{Type: EventSnapshot, Pattern: f.ID, Seq: f.Seq, Pairs: f.Pairs}, true, nil
+	case EventDelta:
+		var f deltaFrame
+		if err := json.Unmarshal([]byte(data), &f); err != nil {
+			return ev, false, fmt.Errorf("client: bad delta frame: %w", err)
+		}
+		if cs.haveSeq && f.Seq <= cs.lastSeq {
+			return ev, false, nil // replayed overlap: drop
+		}
+		cs.lastSeq, cs.haveSeq = f.Seq, true
+		return MatchEvent{Type: EventDelta, Pattern: f.ID, Seq: f.Seq, Added: f.Added, Removed: f.Removed}, true, nil
+	default:
+		return ev, false, nil // unknown event types are ignored (forward compat)
+	}
+}

@@ -1,7 +1,10 @@
 // Command gpserve serves continuous graph-pattern queries over HTTP: load
 // a data graph, register standing patterns, POST edge-update batches, and
 // stream per-pattern match deltas to any number of subscribers via
-// Server-Sent Events. See internal/serve for the endpoint table.
+// Server-Sent Events. The wire API is versioned under /v1 (see
+// internal/serve for the endpoint table); the original unversioned paths
+// remain as deprecated aliases. Programs should use the typed SDK in
+// gpm/client instead of raw HTTP.
 //
 // Usage:
 //
@@ -9,13 +12,20 @@
 //	gpserve -addr :8080 -graph g.graph
 //	gpserve -addr :8080 -journal /var/lib/gpserve
 //
-// A session with curl:
+// A session with curl (text bodies; send Content-Type: application/json
+// to use the JSON wire documents instead):
 //
-//	curl -X POST --data-binary @g.graph localhost:8080/graph
-//	curl -X PUT --data-binary @p.pattern 'localhost:8080/patterns/watch?kind=auto'
-//	curl -N localhost:8080/patterns/watch/stream &
-//	curl -X POST --data-binary $'insert 3 7\ndelete 7 3\n' localhost:8080/updates
-//	curl localhost:8080/stats
+//	curl -X POST --data-binary @g.graph localhost:8080/v1/graph
+//	curl -X PUT --data-binary @p.pattern 'localhost:8080/v1/patterns/watch?kind=auto'
+//	curl -N localhost:8080/v1/patterns/watch/stream &
+//	curl -X POST --data-binary $'insert 3 7\ndelete 7 3\n' localhost:8080/v1/updates
+//	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/readyz
+//
+// Failures come back as one JSON envelope {"code", "message", "seq"?}
+// with a stable machine-readable code. GET /v1/healthz (liveness) and
+// GET /v1/readyz (readiness: registry open, journal accepting appends)
+// serve container orchestration and the future follower mode.
 //
 // With -journal DIR every commit (and pattern registration) is appended
 // to a durable, checksummed log, and on startup gpserve recovers the

@@ -1,27 +1,83 @@
-// Subscribe: the continuous-query subsystem end to end, over real HTTP.
-// The program starts a gpserve instance in-process on a loopback port,
-// loads a small social graph, registers a standing pattern, opens a
-// Server-Sent-Events subscription, and then streams edge updates at the
-// server — printing each pushed match delta ΔM and checking that the
-// snapshot plus the accumulated deltas always equals the live result.
+// Subscribe: the continuous-query subsystem end to end through the typed
+// client SDK, over real HTTP, across a server crash.
+//
+// The program starts a journaled gpserve instance in-process on a
+// loopback port, loads a small social graph, registers a standing
+// pattern, and opens a client.Stream subscription. It applies update
+// batches and prints each pushed match delta ΔM; then it kills the
+// server mid-stream, restarts it from the journal on the same port, and
+// applies more batches — the stream's auto-reconnect resumes with
+// Last-Event-ID, and the program verifies the delta sequence stayed
+// contiguous (nothing missed, nothing duplicated) and that snapshot ⊕
+// all deltas equals the live result. Exits non-zero on any violation,
+// so CI can run it as the kill+resume smoke test.
 package main
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
-	"strings"
+	"os"
 	"time"
 
 	"gpm"
+	"gpm/client"
+	"gpm/internal/journal"
 	"gpm/internal/serve"
 )
 
+// server is one in-process gpserve instance over the durable journal in
+// dir, listening on addr ("" picks a port).
+type server struct {
+	hs  *http.Server
+	srv *serve.Server
+	j   *journal.Journal
+}
+
+func start(dir, addr string) (*server, string, error) {
+	j, err := journal.Open(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	srv, err := serve.NewWithJournal(j)
+	if err != nil {
+		return nil, "", err
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	for i := 0; i < 50; i++ { // the OS may briefly hold a restarted port
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	go hs.Serve(ln) //nolint:errcheck // closed on stop
+	return &server{hs: hs, srv: srv, j: j}, ln.Addr().String(), nil
+}
+
+// stop tears the instance down the way gpserve's signal handler does:
+// listener, registry (ends the SSE streams, fsyncs), then the journal.
+func (s *server) stop() error {
+	s.hs.Close() //nolint:errcheck // dropping live connections is the point
+	s.srv.Close()
+	return s.j.Close()
+}
+
 func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "gpserve-journal-*")
+	must(err)
+	defer os.RemoveAll(dir)
+
 	// A review graph: bosses, account managers and their contacts, the
 	// shape of the paper's Example 1.1.
 	g := gpm.NewGraph()
@@ -36,104 +92,114 @@ func main() {
 
 	// Pattern: a boss with an account manager who has a contact.
 	p := gpm.NewPattern()
-	pb := p.AddNode(gpm.Label("B"))
-	pa := p.AddNode(gpm.Label("AM"))
-	pc := p.AddNode(gpm.Label("C"))
-	must(p.AddEdge(pb, pa, 1))
-	must(p.AddEdge(pa, pc, 1))
+	p.AddNode(gpm.Label("B"))
+	p.AddNode(gpm.Label("AM"))
+	p.AddNode(gpm.Label("C"))
+	must(p.AddEdge(0, 1, 1))
+	must(p.AddEdge(1, 2, 1))
 
-	// Start gpserve on a loopback port.
-	srv := serve.New()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
-	go httpSrv.Serve(ln) //nolint:errcheck // shut down with the process
-	base := "http://" + ln.Addr().String()
-	fmt.Printf("gpserve listening on %s\n", base)
+	// Start a journaled gpserve and set the world up through the SDK.
+	first, addr, err := start(dir, "")
+	must(err)
+	fmt.Printf("gpserve listening on http://%s (journal %s)\n", addr, dir)
+	c := client.New("http://"+addr, client.WithBackoff(50*time.Millisecond, time.Second))
+	_, err = c.LoadGraph(ctx, g)
+	must(err)
+	_, err = c.Register(ctx, "ring", p, gpm.KindAuto)
+	must(err)
 
-	// Load the graph and register the standing pattern, exactly as curl
-	// would.
-	var gbuf, pbuf bytes.Buffer
-	must(g.Write(&gbuf))
-	must(p.Write(&pbuf))
-	post("POST", base+"/graph", gbuf.String())
-	post("PUT", base+"/patterns/ring?kind=auto", pbuf.String())
-
-	// Open the SSE stream and read the snapshot frame.
-	resp, err := http.Get(base + "/patterns/ring/stream")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	event, data := readFrame(sc)
-	fmt.Printf("%-8s seq=%v pairs=%v\n", event, data["seq"], data["size"])
+	// One typed stream, consumed across the crash below.
+	st, err := c.Stream(ctx, "ring")
+	must(err)
+	defer st.Close()
+	acc := map[gpm.Pair]bool{}
+	lastSeq := next(st, acc, 0) // the snapshot
 
 	// Stream updates: wire a second account-manager chain in, then break
 	// the first one. Each commit pushes one delta frame.
-	batches := []string{
-		fmt.Sprintf("insert %d %d\ninsert %d %d\n", boss, am2, am2, c2), // (boss→am2→c2) joins
-		fmt.Sprintf("delete %d %d\n", am1, c1),                          // am1 loses its contact
-		fmt.Sprintf("delete %d %d\n", am2, c2),                          // no chain left: match collapses
-		fmt.Sprintf("insert %d %d\n", am1, c2),                          // am1 re-wired: match returns
-	}
-	for _, b := range batches {
-		post("POST", base+"/updates", b)
-		event, data = readFrame(sc)
-		fmt.Printf("%-8s seq=%v added=%v removed=%v\n",
-			event, data["seq"], data["added"], data["removed"])
+	for _, b := range [][]gpm.Update{
+		{gpm.Insert(boss, am2), gpm.Insert(am2, c2)}, // (boss→am2→c2) joins
+		{gpm.Delete(am1, c1)},                        // am1 loses its contact
+	} {
+		_, err = c.Apply(ctx, b)
+		must(err)
+		lastSeq = next(st, acc, lastSeq)
 	}
 
-	// The live result after all deltas.
-	r, err := http.Get(base + "/patterns/ring/result")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer r.Body.Close()
-	var res map[string]any
-	must(json.NewDecoder(r.Body).Decode(&res))
-	fmt.Printf("final    seq=%v pairs=%v\n", res["seq"], res["size"])
-}
+	// Crash: kill the server mid-stream, restart from the journal on the
+	// same port. The client's auto-reconnect rides through it.
+	fmt.Println("--- killing gpserve mid-stream ---")
+	must(first.stop())
+	second, _, err := start(dir, addr)
+	must(err)
+	defer second.stop() //nolint:errcheck // process exit follows
+	info, err := c.GraphInfo(ctx)
+	must(err)
+	fmt.Printf("--- restarted from journal: %d nodes, seq %d, %d pattern(s) ---\n",
+		info.Nodes, info.Seq, info.Patterns)
 
-// post sends a text body and fails loudly on a non-2xx response.
-func post(method, url, body string) {
-	req, err := http.NewRequest(method, url, strings.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
+	for _, b := range [][]gpm.Update{
+		{gpm.Delete(am2, c2)}, // no chain left: match collapses
+		{gpm.Insert(am1, c2)}, // am1 re-wired: match returns
+	} {
+		_, err = c.Apply(ctx, b)
+		must(err)
+		lastSeq = next(st, acc, lastSeq)
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		var msg bytes.Buffer
-		msg.ReadFrom(resp.Body) //nolint:errcheck // best-effort error text
-		log.Fatalf("%s %s: %s: %s", method, url, resp.Status, msg.String())
-	}
-}
 
-// readFrame reads one SSE frame (event + JSON data).
-func readFrame(sc *bufio.Scanner) (string, map[string]any) {
-	var event string
-	var data map[string]any
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			event = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &data); err != nil {
-				log.Fatal(err)
-			}
-		case line == "" && event != "":
-			return event, data
+	// The invariant of the whole subsystem: snapshot ⊕ deltas — across a
+	// process death — equals the live result.
+	res, err := c.Result(ctx, "ring")
+	must(err)
+	if res.Seq != lastSeq {
+		log.Fatalf("live result at seq %d, stream at %d", res.Seq, lastSeq)
+	}
+	if len(res.Pairs) != len(acc) {
+		log.Fatalf("accumulated %d pairs, live result has %d", len(acc), len(res.Pairs))
+	}
+	for _, pr := range res.Pairs {
+		if !acc[pr] {
+			log.Fatalf("pair %+v in live result but not in accumulated stream", pr)
 		}
 	}
-	log.Fatal("SSE stream ended unexpectedly")
-	return "", nil
+	fmt.Printf("final    seq=%d pairs=%d (stream ⊕ deltas == live result across restart)\n",
+		lastSeq, len(acc))
+}
+
+// next receives one stream event, folds it into acc, checks sequence
+// contiguity, and prints it.
+func next(st *client.Stream, acc map[gpm.Pair]bool, lastSeq uint64) uint64 {
+	select {
+	case ev, ok := <-st.C:
+		if !ok {
+			log.Fatalf("stream closed unexpectedly: %v", st.Err())
+		}
+		switch ev.Type {
+		case client.EventSnapshot:
+			for k := range acc {
+				delete(acc, k)
+			}
+			for _, pr := range ev.Pairs {
+				acc[pr] = true
+			}
+			fmt.Printf("%-8s seq=%d pairs=%d\n", ev.Type, ev.Seq, len(ev.Pairs))
+		case client.EventDelta:
+			if ev.Seq != lastSeq+1 {
+				log.Fatalf("delta seq %d after %d: a delta was missed or duplicated", ev.Seq, lastSeq)
+			}
+			for _, pr := range ev.Removed {
+				delete(acc, pr)
+			}
+			for _, pr := range ev.Added {
+				acc[pr] = true
+			}
+			fmt.Printf("%-8s seq=%d added=%d removed=%d\n", ev.Type, ev.Seq, len(ev.Added), len(ev.Removed))
+		}
+		return ev.Seq
+	case <-time.After(30 * time.Second):
+		log.Fatal("no stream event within 30s")
+		return 0
+	}
 }
 
 func must(err error) {

@@ -37,6 +37,13 @@
 //	eng, _ := gpm.NewIncBSimEngine(p, g)
 //	eng.Insert(am, boss)          // incremental repair, not recomputation
 //	rel = eng.Result()
+//
+// Graphs, patterns and update batches serialize both as the line-oriented
+// text formats (ReadGraph/Graph.Write, ParsePattern/Pattern.Write,
+// ReadUpdates/WriteUpdates) and as JSON documents (encoding/json
+// Marshal/Unmarshal on the same types) — the JSON forms are the v1 wire
+// contract of cmd/gpserve. The typed HTTP SDK for that server lives in
+// the sibling package gpm/client.
 package gpm
 
 import (
@@ -54,6 +61,7 @@ import (
 	"gpm/internal/rel"
 	"gpm/internal/resultgraph"
 	"gpm/internal/simulation"
+	"io"
 )
 
 // SetWorkers bounds the parallelism of the library's parallel hot paths —
@@ -169,6 +177,21 @@ const Unbounded = pattern.Unbounded
 
 // NewGraph returns an empty data graph.
 func NewGraph() *Graph { return graph.New() }
+
+// ReadGraph parses a data graph in the text format (Graph.Write's
+// inverse). For the JSON wire document, use encoding/json on *Graph.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// ParsePattern parses a pattern in the text format (Pattern.Write's
+// inverse). For the JSON wire document, use encoding/json on *Pattern.
+func ParsePattern(r io.Reader) (*Pattern, error) { return pattern.Parse(r) }
+
+// ReadUpdates parses an edge-update batch in the text format (one
+// "insert|delete from to" per line).
+func ReadUpdates(r io.Reader) ([]Update, error) { return graph.ReadUpdates(r) }
+
+// WriteUpdates serializes an edge-update batch in the text format.
+func WriteUpdates(w io.Writer, ups []Update) error { return graph.WriteUpdates(w, ups) }
 
 // NewTuple builds an attribute tuple from alternating key/value strings;
 // values parse as int, float or (quoted) string.

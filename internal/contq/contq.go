@@ -46,6 +46,7 @@ package contq
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -73,6 +74,10 @@ var (
 	// ahead of the registry's head (e.g. a client that outlived a server
 	// which lost its journal tail); the client must re-snapshot.
 	ErrSeqFuture = errors.New("contq: requested seq is ahead of the registry")
+	// ErrBadKind reports a Register call whose kind is unknown or does not
+	// fit the pattern (e.g. iso over a non-normal pattern) — a client
+	// error, distinct from the conflict of a duplicate id.
+	ErrBadKind = errors.New("contq: bad engine kind")
 )
 
 // Kind selects the engine backing a registered pattern.
@@ -362,6 +367,66 @@ func (r *Registry) Apply(ups []graph.Update) (uint64, error) {
 	}
 	<-req.done
 	return req.seq, req.err
+}
+
+// ApplyContext is Apply with real cancellation: it returns as soon as ctx
+// is done instead of waiting for the commit. The commit itself is never
+// torn — a batch the writer has already picked up still commits whole —
+// but a batch still waiting in the queue is withdrawn, so a zero sequence
+// with ctx's error means the batch was definitely not (queue-withdrawn)
+// or not observably (abandoned mid-drain) committed; callers that must
+// know re-sync via Seq/Replay. Unlike Apply, the drain always runs on a
+// background goroutine, so a canceled caller never abandons the drainer
+// role with batches queued.
+func (r *Registry) ApplyContext(ctx context.Context, ups []graph.Update) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	req := &applyReq{ups: ups, done: make(chan struct{})}
+	r.qmu.Lock()
+	r.queue = append(r.queue, req)
+	drain := !r.draining
+	if drain {
+		r.draining = true
+	}
+	r.qmu.Unlock()
+	if drain {
+		go r.drainStep(false)
+	}
+	select {
+	case <-req.done:
+		return req.seq, req.err
+	case <-ctx.Done():
+	}
+	// Canceled: withdraw the batch if the drainer has not taken it yet, so
+	// it provably never commits. Once in a drain, the outcome is decided
+	// without us — report the cancellation and let the commit stand.
+	r.qmu.Lock()
+	for i, q := range r.queue {
+		if q == req {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			r.qmu.Unlock()
+			return 0, ctx.Err()
+		}
+	}
+	r.qmu.Unlock()
+	// Not in the queue: the drainer took it. The commit may have finished
+	// in the same instant the context fired — prefer the real outcome over
+	// an "unknown" report when it is already knowable.
+	select {
+	case <-req.done:
+		return req.seq, req.err
+	default:
+	}
+	return 0, fmt.Errorf("contq: apply abandoned mid-commit: %w", ctx.Err())
+}
+
+// Closed reports whether the registry has been shut down (readiness
+// probes use it; writes would fail with ErrClosed).
+func (r *Registry) Closed() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.closed
 }
 
 // drainStep commits one drained batch. Call with r.draining already true
@@ -654,12 +719,23 @@ func FromSeq(n uint64) SubscribeOption {
 // Delivery never blocks the writer: events queue in an unbounded per-
 // subscriber mailbox and drain in commit order.
 func (r *Registry) Subscribe(id string, options ...SubscribeOption) (*Subscription, error) {
+	return r.SubscribeContext(context.Background(), id, options...)
+}
+
+// SubscribeContext is Subscribe with cancellation: a FromSeq resume's
+// journal scan and delta backfill — the potentially slow parts — stop and
+// the call fails with ctx's error as soon as ctx is done, detaching the
+// half-built subscription.
+func (r *Registry) SubscribeContext(ctx context.Context, id string, options ...SubscribeOption) (*Subscription, error) {
 	var o subscribeOpts
 	for _, opt := range options {
 		opt(&o)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if o.hasFrom {
-		return r.subscribeFrom(id, o.fromSeq)
+		return r.subscribeFrom(ctx, id, o.fromSeq)
 	}
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
@@ -678,6 +754,18 @@ func (r *Registry) Subscribe(id string, options ...SubscribeOption) (*Subscripti
 	reg.subs[s] = struct{}{}
 	reg.mu.Unlock()
 	return s, nil
+}
+
+// Kind reports the engine kind backing pattern id — the resolved kind,
+// never KindAuto — and whether the id is registered.
+func (r *Registry) Kind(id string) (Kind, bool) {
+	r.mu.RLock()
+	reg, ok := r.pats[id]
+	r.mu.RUnlock()
+	if !ok {
+		return "", false
+	}
+	return reg.kind, true
 }
 
 // Result returns pattern id's current match relation (a shared immutable
@@ -792,8 +880,10 @@ func (r *Registry) Stats() Stats {
 // journal itself stays open — its owner closes it).
 func (r *Registry) Close() {
 	r.writeMu.Lock()
-	r.closed = true
 	r.mu.Lock()
+	// closed is written under BOTH locks: the write paths read it under
+	// writeMu, the lock-free Closed() accessor under mu.
+	r.closed = true
 	pats := r.pats
 	r.pats = make(map[string]*registration)
 	r.mu.Unlock()

@@ -36,25 +36,26 @@ func newMatcher(kind Kind, p *pattern.Pattern, base graph.View, workers int) (ma
 	case KindSim:
 		eng, err := incsim.NewShared(p, base, incsim.WithWorkers(workers))
 		if err != nil {
-			return nil, err
+			// A sim engine only rejects patterns that do not fit the kind.
+			return nil, fmt.Errorf("%w: %w", ErrBadKind, err)
 		}
 		return simMatcher{eng}, nil
 	case KindBSim:
 		eng, err := incbsim.NewShared(p, base, incbsim.WithWorkers(workers))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %w", ErrBadKind, err)
 		}
 		return bsimMatcher{eng}, nil
 	case KindIso:
 		if !p.IsNormal() {
-			return nil, fmt.Errorf("contq: iso patterns must be normal")
+			return nil, fmt.Errorf("%w: iso patterns must be normal", ErrBadKind)
 		}
 		if p.HasColors() {
-			return nil, fmt.Errorf("contq: iso patterns cannot be colored")
+			return nil, fmt.Errorf("%w: iso patterns cannot be colored", ErrBadKind)
 		}
 		return newIsoMatcher(p, base), nil
 	default:
-		return nil, fmt.Errorf("contq: unknown engine kind %q", kind)
+		return nil, fmt.Errorf("%w: unknown engine kind %q", ErrBadKind, kind)
 	}
 }
 

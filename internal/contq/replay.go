@@ -2,6 +2,7 @@ package contq
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"gpm/internal/graph"
@@ -55,7 +56,7 @@ func (r *Registry) Replay(fromSeq uint64) ([]journal.Commit, error) {
 // exactly. The backfill runs outside the writer lock; commits that land
 // meanwhile queue in the subscription's paused mailbox and are delivered
 // after the backfilled events, preserving consecutive sequence order.
-func (r *Registry) subscribeFrom(id string, from uint64) (*Subscription, error) {
+func (r *Registry) subscribeFrom(ctx context.Context, id string, from uint64) (*Subscription, error) {
 	r.writeMu.Lock()
 	if r.closed {
 		r.writeMu.Unlock()
@@ -112,9 +113,15 @@ func (r *Registry) subscribeFrom(id string, from uint64) (*Subscription, error) 
 		s.start() // closes C for any racing reader
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
 	recs, err := r.journal.Commits(from)
 	if err != nil {
 		return fail(fmt.Errorf("contq: replay from %d: %w", from, err))
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
 	}
 	// Commits that landed after head are already queued in the paused
 	// mailbox as live events; backfill must stop exactly at head.
@@ -124,7 +131,7 @@ func (r *Registry) subscribeFrom(id string, from uint64) (*Subscription, error) 
 	if uint64(len(recs)) != head-from || recs[0].Seq != from+1 || recs[len(recs)-1].Seq != head {
 		return fail(fmt.Errorf("contq: journal gap replaying (%d, %d]: %w", from, head, journal.ErrCompacted))
 	}
-	events, err := r.backfill(reg, base, recs)
+	events, err := r.backfill(ctx, reg, base, recs)
 	if err != nil {
 		return fail(err)
 	}
@@ -148,8 +155,10 @@ func (r *Registry) resumeClone(head uint64) *graph.Graph {
 
 // backfill rewinds base (the graph at the newest replayed seq) to the
 // state before recs[0], then replays the batches forward through a fresh
-// matcher, collecting one event per commit.
-func (r *Registry) backfill(reg *registration, base *graph.Graph, recs []journal.Commit) ([]Event, error) {
+// matcher, collecting one event per commit. It stops early with ctx's
+// error when the caller gives up (the replay can span thousands of
+// commits; an abandoned resume must not keep burning a core).
+func (r *Registry) backfill(ctx context.Context, reg *registration, base *graph.Graph, recs []journal.Commit) ([]Event, error) {
 	for i := len(recs) - 1; i >= 0; i-- {
 		ups := recs[i].Updates
 		for k := len(ups) - 1; k >= 0; k-- {
@@ -164,6 +173,9 @@ func (r *Registry) backfill(reg *registration, base *graph.Graph, recs []journal
 	}
 	events := make([]Event, 0, len(recs))
 	for _, rec := range recs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ev := Event{Pattern: reg.id, Seq: rec.Seq}
 		if len(rec.Updates) > 0 {
 			ev.Delta = m.apply(rec.Updates)

@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The JSON wire format of the v1 HTTP API. It carries exactly the
+// information of the text format, as one document instead of a line
+// protocol:
+//
+//	{
+//	  "nodes": [{"id": 0, "attrs": {"name": "Ann", "contacts": 12}}, ...],
+//	  "edges": [{"from": 0, "to": 1, "label": "friend"}, ...]
+//	}
+//
+// Attribute values keep their dynamic kind across a round trip: strings
+// are JSON strings, ints are JSON integers, and floats always carry a
+// decimal point or exponent (5.0 marshals as "5.0", never "5") so they do
+// not read back as ints. Node ids must be dense 0..N-1, in any order.
+// Marshaling is deterministic: nodes ascend by id, attribute keys sort,
+// edges sort lexicographically — so equal graphs produce equal bytes.
+
+// MarshalJSON renders v as a JSON string or number, kind preserved: ints
+// have no fractional syntax, floats always do. Non-finite floats have no
+// JSON representation and error.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case KindString:
+		return json.Marshal(v.str)
+	case KindInt:
+		return []byte(strconv.FormatInt(v.num, 10)), nil
+	default:
+		if math.IsNaN(v.flt) || math.IsInf(v.flt, 0) {
+			return nil, fmt.Errorf("graph: float attribute %v has no JSON representation", v.flt)
+		}
+		s := strconv.FormatFloat(v.flt, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return []byte(s), nil
+	}
+}
+
+// UnmarshalJSON parses a JSON string or number into a Value, mapping
+// integer syntax to KindInt and fractional/exponent syntax to KindFloat.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	b = bytes.TrimSpace(b)
+	if len(b) == 0 {
+		return fmt.Errorf("graph: empty attribute value")
+	}
+	if b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		*v = String(s)
+		return nil
+	}
+	var n json.Number
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("graph: attribute value must be a JSON string or number: %w", err)
+	}
+	s := n.String()
+	if !strings.ContainsAny(s, ".eE") {
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			*v = Int(i)
+			return nil
+		}
+		// Out of int64 range: fall through to float.
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("graph: bad numeric attribute %q: %w", s, err)
+	}
+	*v = Float(f)
+	return nil
+}
+
+// nodeJSON is one node of the wire document.
+type nodeJSON struct {
+	ID    int   `json:"id"`
+	Attrs Tuple `json:"attrs,omitempty"`
+}
+
+// edgeJSON is one edge of the wire document.
+type edgeJSON struct {
+	From  NodeID `json:"from"`
+	To    NodeID `json:"to"`
+	Label string `json:"label,omitempty"`
+}
+
+// graphJSON is the wire document.
+type graphJSON struct {
+	Nodes []nodeJSON `json:"nodes"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+// MarshalJSON renders g as the JSON wire document (deterministically:
+// nodes by id, sorted attribute keys, sorted edges).
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	doc := graphJSON{
+		Nodes: make([]nodeJSON, 0, g.NumNodes()),
+		Edges: make([]edgeJSON, 0, g.NumEdges()),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		n := nodeJSON{ID: v}
+		if len(g.attrs[v]) > 0 {
+			n.Attrs = g.attrs[v]
+		}
+		doc.Nodes = append(doc.Nodes, n)
+	}
+	for _, e := range g.EdgeList() {
+		doc.Edges = append(doc.Edges, edgeJSON{From: e[0], To: e[1], Label: g.EdgeLabel(e[0], e[1])})
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON replaces g with the graph described by the wire document,
+// enforcing the same invariants as the text reader: dense node ids
+// (0..N-1, any order, no duplicates) and edges between declared nodes.
+// Duplicate edges collapse, as in the text format.
+func (g *Graph) UnmarshalJSON(b []byte) error {
+	var doc graphJSON
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("graph: bad JSON document: %w", err)
+	}
+	fresh := NewWithCapacity(len(doc.Nodes), len(doc.Edges))
+	byID := make([]Tuple, len(doc.Nodes))
+	seen := make([]bool, len(doc.Nodes))
+	for _, n := range doc.Nodes {
+		if n.ID < 0 || n.ID >= len(doc.Nodes) {
+			return fmt.Errorf("graph: node id %d out of dense range [0,%d)", n.ID, len(doc.Nodes))
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("graph: duplicate node id %d", n.ID)
+		}
+		seen[n.ID] = true
+		byID[n.ID] = n.Attrs
+	}
+	for _, t := range byID {
+		fresh.AddNode(t)
+	}
+	for _, e := range doc.Edges {
+		if _, err := fresh.AddEdge(e.From, e.To); err != nil {
+			return err
+		}
+		if e.Label != "" {
+			if err := fresh.SetEdgeLabel(e.From, e.To, e.Label); err != nil {
+				return err
+			}
+		}
+	}
+	*g = *fresh
+	return nil
+}
+
+// updateJSON is one unit update of the wire format:
+// {"op": "insert"|"delete", "from": 3, "to": 7}.
+type updateJSON struct {
+	Op   string `json:"op"`
+	From NodeID `json:"from"`
+	To   NodeID `json:"to"`
+}
+
+// MarshalJSON renders u in the update wire format.
+func (u Update) MarshalJSON() ([]byte, error) {
+	op := "insert"
+	if u.Op == DeleteEdge {
+		op = "delete"
+	}
+	return json.Marshal(updateJSON{Op: op, From: u.From, To: u.To})
+}
+
+// UnmarshalJSON parses the update wire format, rejecting unknown ops and
+// negative node ids (the same checks as the text reader).
+func (u *Update) UnmarshalJSON(b []byte) error {
+	var doc updateJSON
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("graph: bad update document: %w", err)
+	}
+	var op Op
+	switch doc.Op {
+	case "insert":
+		op = InsertEdge
+	case "delete":
+		op = DeleteEdge
+	default:
+		return fmt.Errorf("graph: update has unknown op %q", doc.Op)
+	}
+	if doc.From < 0 || doc.To < 0 {
+		return fmt.Errorf("graph: update (%d,%d) has a negative node id", doc.From, doc.To)
+	}
+	*u = Update{Op: op, From: doc.From, To: doc.To}
+	return nil
+}

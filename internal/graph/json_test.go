@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenGraph builds the graph serialized in testdata/graph.golden.json:
+// every value kind, an unattributed node, and a labeled edge.
+func goldenGraph() *Graph {
+	g := New()
+	g.AddNode(NewTuple("name", `"Ann"`, "job", `"CTO"`, "contacts", "12"))
+	g.AddNode(NewTuple("name", `"Pat"`, "score", "2.5"))
+	g.AddNode(nil)
+	g.AddEdge(0, 1)                //nolint:errcheck // test fixture
+	g.AddEdge(1, 2)                //nolint:errcheck // test fixture
+	g.AddEdge(2, 0)                //nolint:errcheck // test fixture
+	g.SetEdgeLabel(1, 2, "friend") //nolint:errcheck // test fixture
+	return g
+}
+
+// checkGolden compares got against the named golden file (or rewrites it
+// under -update-golden).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, append(got, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimRight(want, "\n"), got) {
+		t.Fatalf("golden mismatch for %s:\n got %s\nwant %s", name, got, bytes.TrimRight(want, "\n"))
+	}
+}
+
+func TestGraphJSONGolden(t *testing.T) {
+	g := goldenGraph()
+	got, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "graph.golden.json", got)
+
+	back := New()
+	if err := json.Unmarshal(got, back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Fatalf("round trip diverged:\n first %s\nsecond %s", got, again)
+	}
+	// Kind preservation: the float attribute survives as a float, the int
+	// as an int.
+	if v, _ := back.Attrs(1).Get("score"); v.Kind() != KindFloat {
+		t.Fatalf("score kind %v after round trip", v.Kind())
+	}
+	if v, _ := back.Attrs(0).Get("contacts"); v.Kind() != KindInt {
+		t.Fatalf("contacts kind %v after round trip", v.Kind())
+	}
+	if back.EdgeLabel(1, 2) != "friend" {
+		t.Fatal("edge label lost in round trip")
+	}
+}
+
+func TestGraphJSONErrors(t *testing.T) {
+	for name, doc := range map[string]string{
+		"sparse ids":     `{"nodes":[{"id":0},{"id":2}],"edges":[]}`,
+		"duplicate id":   `{"nodes":[{"id":0},{"id":0}],"edges":[]}`,
+		"edge off graph": `{"nodes":[{"id":0}],"edges":[{"from":0,"to":5}]}`,
+		"unknown field":  `{"nodes":[],"edges":[],"bogus":1}`,
+		"bad attr value": `{"nodes":[{"id":0,"attrs":{"x":true}}],"edges":[]}`,
+		"not a document": `[1,2,3]`,
+	} {
+		g := New()
+		if err := json.Unmarshal([]byte(doc), g); err == nil {
+			t.Errorf("%s: unmarshal accepted %s", name, doc)
+		}
+	}
+}
+
+func TestUpdatesJSONRoundTrip(t *testing.T) {
+	ups := []Update{Insert(3, 7), Delete(7, 3), Insert(0, 1)}
+	b, err := json.Marshal(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"op":"insert","from":3,"to":7},{"op":"delete","from":7,"to":3},{"op":"insert","from":0,"to":1}]`
+	if string(b) != want {
+		t.Fatalf("updates JSON %s, want %s", b, want)
+	}
+	var back []Update
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ups) {
+		t.Fatalf("round trip length %d", len(back))
+	}
+	for i := range ups {
+		if back[i] != ups[i] {
+			t.Fatalf("update %d: %v != %v", i, back[i], ups[i])
+		}
+	}
+	for _, bad := range []string{
+		`{"op":"upsert","from":0,"to":1}`,
+		`{"op":"insert","from":-1,"to":1}`,
+		`{"op":"insert","from":0,"to":1,"bogus":2}`,
+	} {
+		var u Update
+		if err := json.Unmarshal([]byte(bad), &u); err == nil {
+			t.Errorf("unmarshal accepted %s", bad)
+		}
+	}
+}
+
+func TestValueJSONKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{String("hi"), `"hi"`},
+		{String("5"), `"5"`},
+		{Int(5), `5`},
+		{Int(-3), `-3`},
+		{Float(2.5), `2.5`},
+		{Float(5), `5.0`},      // whole floats keep fractional syntax
+		{Float(1e21), `1e+21`}, // exponent syntax also reads back as float
+	}
+	for _, c := range cases {
+		b, err := json.Marshal(c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != c.want {
+			t.Fatalf("marshal %v: %s, want %s", c.v, b, c.want)
+		}
+		var back Value
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Kind() != c.v.Kind() || !back.Equal(c.v) {
+			t.Fatalf("round trip %v → %s → %v (kind %v)", c.v, b, back, back.Kind())
+		}
+	}
+}
+
+// FuzzGraphJSON checks that any accepted graph document has a stable
+// canonical form: unmarshal → marshal → unmarshal → marshal must converge
+// after the first encoding.
+func FuzzGraphJSON(f *testing.F) {
+	seed, err := json.Marshal(goldenGraph())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{"nodes":[],"edges":[]}`)
+	f.Add(`{"nodes":[{"id":0,"attrs":{"a":1,"b":"x","c":2.5}}],"edges":[]}`)
+	f.Add(`{"nodes":[{"id":1},{"id":0}],"edges":[{"from":0,"to":1,"label":"l"},{"from":0,"to":1}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		g := New()
+		if err := json.Unmarshal([]byte(doc), g); err != nil {
+			return // rejected inputs are out of scope
+		}
+		m1, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("accepted graph failed to marshal: %v", err)
+		}
+		g2 := New()
+		if err := json.Unmarshal(m1, g2); err != nil {
+			t.Fatalf("own marshaling rejected: %v\n%s", err, m1)
+		}
+		m2, err := json.Marshal(g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("canonical form unstable:\n m1 %s\n m2 %s", m1, m2)
+		}
+		if g.NumNodes() != g2.NumNodes() || g.NumEdges() != g2.NumEdges() {
+			t.Fatalf("size changed: %v vs %v", g, g2)
+		}
+	})
+}
+
+// FuzzUpdatesJSON: same canonical-stability property for update batches.
+func FuzzUpdatesJSON(f *testing.F) {
+	f.Add(`[{"op":"insert","from":3,"to":7},{"op":"delete","from":7,"to":3}]`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		var ups []Update
+		if err := json.Unmarshal([]byte(doc), &ups); err != nil {
+			return
+		}
+		m1, err := json.Marshal(ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back []Update
+		if err := json.Unmarshal(m1, &back); err != nil {
+			t.Fatalf("own marshaling rejected: %v\n%s", err, m1)
+		}
+		m2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("canonical form unstable:\n m1 %s\n m2 %s", m1, m2)
+		}
+	})
+}

@@ -297,6 +297,22 @@ func (j *Journal) appendMeta(rec Record) error {
 	return nil
 }
 
+// Broken reports why the journal can no longer accept appends: the sticky
+// append-failure (a lost record must never be followed by another), or
+// ErrClosed after Close. It returns nil while the journal is healthy —
+// the readiness condition gpserve's /v1/readyz probes.
+func (j *Journal) Broken() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.appendFailed != nil {
+		return fmt.Errorf("journal: appends stopped after a failed write: %w", j.appendFailed)
+	}
+	return nil
+}
+
 // trimRing evicts the oldest ring entries beyond capacity and rederives
 // the oldest replayable seq: a memory-only journal loses replayability
 // past the ring, a durable one falls back to whatever the (possibly

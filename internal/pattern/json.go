@@ -1,0 +1,136 @@
+package pattern
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON wire format of the v1 HTTP API — the text format's information
+// as one document:
+//
+//	{
+//	  "nodes": [{"id": 0, "pred": "label = \"AM\" && contacts >= 10"}, ...],
+//	  "edges": [{"from": 0, "to": 1, "bound": 3, "color": "friend"}, ...]
+//	}
+//
+// A node's predicate is the text conjunction syntax ("" or "true" is the
+// wildcard). An edge bound is a positive integer or the string "*"
+// (unbounded); omitting it means 1, a normal edge. Node ids must be dense
+// 0..N-1 in any order. Marshaling is deterministic: nodes ascend by id and
+// edges sort lexicographically.
+
+// jsonBound carries fE on the wire: a positive integer, or "*" for
+// Unbounded. The zero value means "omitted" and defaults to bound 1.
+type jsonBound int
+
+// MarshalJSON renders the bound ("*" for Unbounded).
+func (b jsonBound) MarshalJSON() ([]byte, error) {
+	if int(b) == Unbounded {
+		return []byte(`"*"`), nil
+	}
+	return json.Marshal(int(b))
+}
+
+// UnmarshalJSON accepts a positive integer or the string "*".
+func (b *jsonBound) UnmarshalJSON(data []byte) error {
+	data = bytes.TrimSpace(data)
+	if string(data) == `"*"` {
+		*b = jsonBound(Unbounded)
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf(`pattern: edge bound must be a positive integer or "*": %w`, err)
+	}
+	if n < 1 {
+		return fmt.Errorf("pattern: edge bound %d < 1", n)
+	}
+	*b = jsonBound(n)
+	return nil
+}
+
+// nodeJSON is one pattern node of the wire document.
+type nodeJSON struct {
+	ID   int    `json:"id"`
+	Pred string `json:"pred,omitempty"`
+}
+
+// edgeJSON is one pattern edge of the wire document.
+type edgeJSON struct {
+	From  int       `json:"from"`
+	To    int       `json:"to"`
+	Bound jsonBound `json:"bound,omitempty"`
+	Color string    `json:"color,omitempty"`
+}
+
+// patternJSON is the wire document.
+type patternJSON struct {
+	Nodes []nodeJSON `json:"nodes"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+// MarshalJSON renders p as the JSON wire document (deterministically:
+// nodes by id, sorted edges), with predicates in the text syntax.
+func (p *Pattern) MarshalJSON() ([]byte, error) {
+	doc := patternJSON{
+		Nodes: make([]nodeJSON, 0, p.NumNodes()),
+		Edges: make([]edgeJSON, 0, p.NumEdges()),
+	}
+	for u := 0; u < p.NumNodes(); u++ {
+		n := nodeJSON{ID: u}
+		if pred := p.preds[u]; len(pred) > 0 {
+			n.Pred = pred.String()
+		}
+		doc.Nodes = append(doc.Nodes, n)
+	}
+	for _, e := range p.Edges() {
+		doc.Edges = append(doc.Edges, edgeJSON{From: e.From, To: e.To, Bound: jsonBound(e.Bound), Color: e.Color})
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON replaces p with the pattern described by the wire
+// document, enforcing the text reader's invariants: dense node ids with no
+// duplicates, parseable predicates, edges between declared nodes with
+// bounds >= 1 (or "*"). A re-declared edge overwrites its bound and color,
+// as AddColoredEdge does.
+func (p *Pattern) UnmarshalJSON(b []byte) error {
+	var doc patternJSON
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("pattern: bad JSON document: %w", err)
+	}
+	fresh := New()
+	preds := make([]Predicate, len(doc.Nodes))
+	seen := make([]bool, len(doc.Nodes))
+	for _, n := range doc.Nodes {
+		if n.ID < 0 || n.ID >= len(doc.Nodes) {
+			return fmt.Errorf("pattern: node id %d out of dense range [0,%d)", n.ID, len(doc.Nodes))
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("pattern: duplicate node id %d", n.ID)
+		}
+		seen[n.ID] = true
+		pred, err := ParsePredicate(n.Pred)
+		if err != nil {
+			return fmt.Errorf("pattern: node %d: %w", n.ID, err)
+		}
+		preds[n.ID] = pred
+	}
+	for _, pr := range preds {
+		fresh.AddNode(pr)
+	}
+	for _, e := range doc.Edges {
+		bound := int(e.Bound)
+		if bound == 0 {
+			bound = 1 // omitted: a normal edge
+		}
+		if err := fresh.AddColoredEdge(e.From, e.To, bound, e.Color); err != nil {
+			return err
+		}
+	}
+	*p = *fresh
+	return nil
+}

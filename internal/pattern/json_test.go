@@ -1,0 +1,153 @@
+package pattern
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenPattern builds the pattern serialized in
+// testdata/pattern.golden.json: predicates with every operator family, a
+// wildcard node, finite and unbounded bounds, and a colored edge.
+func goldenPattern(t testing.TB) *Pattern {
+	p := New()
+	pred := func(s string) Predicate {
+		pr, err := ParsePredicate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	p.AddNode(pred(`label = "B"`))
+	p.AddNode(pred(`label = "AM" && contacts >= 10`))
+	p.AddNode(nil) // wildcard
+	if err := p.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(0, 2, Unbounded); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddColoredEdge(2, 0, 2, "friend"); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPatternJSONGolden(t *testing.T) {
+	p := goldenPattern(t)
+	got, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "pattern.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, append(append([]byte(nil), got...), '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update-golden): %v", err)
+		}
+		if !bytes.Equal(bytes.TrimRight(want, "\n"), got) {
+			t.Fatalf("golden mismatch:\n got %s\nwant %s", got, bytes.TrimRight(want, "\n"))
+		}
+	}
+
+	back := New()
+	if err := json.Unmarshal(got, back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Fatalf("round trip diverged:\n first %s\nsecond %s", got, again)
+	}
+	if b, _ := back.Bound(0, 2); b != Unbounded {
+		t.Fatalf("unbounded edge read back as %d", b)
+	}
+	if b, _ := back.Bound(1, 2); b != 3 {
+		t.Fatalf("bound(1,2) = %d after round trip", b)
+	}
+	if back.Color(2, 0) != "friend" {
+		t.Fatal("edge color lost in round trip")
+	}
+	if back.IsNormal() {
+		t.Fatal("bounded pattern read back as normal")
+	}
+}
+
+func TestPatternJSONOmittedBoundIsNormal(t *testing.T) {
+	p := New()
+	if err := json.Unmarshal([]byte(`{"nodes":[{"id":0},{"id":1}],"edges":[{"from":0,"to":1}]}`), p); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := p.Bound(0, 1); !ok || b != 1 {
+		t.Fatalf("omitted bound read back as %d (ok=%v), want 1", b, ok)
+	}
+	if !p.IsNormal() {
+		t.Fatal("pattern with omitted bounds must be normal")
+	}
+}
+
+func TestPatternJSONErrors(t *testing.T) {
+	for name, doc := range map[string]string{
+		"sparse ids":     `{"nodes":[{"id":0},{"id":2}],"edges":[]}`,
+		"duplicate id":   `{"nodes":[{"id":0},{"id":0}],"edges":[]}`,
+		"bad predicate":  `{"nodes":[{"id":0,"pred":"label ~ 3"}],"edges":[]}`,
+		"edge off nodes": `{"nodes":[{"id":0}],"edges":[{"from":0,"to":4}]}`,
+		"zero bound":     `{"nodes":[{"id":0},{"id":1}],"edges":[{"from":0,"to":1,"bound":0}]}`,
+		"negative bound": `{"nodes":[{"id":0},{"id":1}],"edges":[{"from":0,"to":1,"bound":-2}]}`,
+		"bad bound kind": `{"nodes":[{"id":0},{"id":1}],"edges":[{"from":0,"to":1,"bound":"all"}]}`,
+		"unknown field":  `{"nodes":[],"edges":[],"extra":true}`,
+	} {
+		p := New()
+		if err := json.Unmarshal([]byte(doc), p); err == nil {
+			t.Errorf("%s: unmarshal accepted %s", name, doc)
+		}
+	}
+}
+
+// FuzzPatternJSON checks canonical-form stability for any accepted
+// pattern document (see FuzzGraphJSON for the property).
+func FuzzPatternJSON(f *testing.F) {
+	seed, err := json.Marshal(goldenPattern(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{"nodes":[],"edges":[]}`)
+	f.Add(`{"nodes":[{"id":0,"pred":"true"}],"edges":[]}`)
+	f.Add(`{"nodes":[{"id":1},{"id":0,"pred":"x != 2.5"}],"edges":[{"from":1,"to":0,"bound":"*"},{"from":1,"to":0,"bound":7,"color":"c"}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		p := New()
+		if err := json.Unmarshal([]byte(doc), p); err != nil {
+			return
+		}
+		m1, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted pattern failed to marshal: %v", err)
+		}
+		p2 := New()
+		if err := json.Unmarshal(m1, p2); err != nil {
+			t.Fatalf("own marshaling rejected: %v\n%s", err, m1)
+		}
+		m2, err := json.Marshal(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("canonical form unstable:\n m1 %s\n m2 %s", m1, m2)
+		}
+	})
+}

@@ -161,10 +161,11 @@ func (r Relation) Equal(t Relation) bool {
 	return true
 }
 
-// Pair is a single (pattern node, data node) match.
+// Pair is a single (pattern node, data node) match. The JSON names are
+// the v1 wire format's: {"u": <pattern node>, "v": <data node>}.
 type Pair struct {
-	U int          // pattern node
-	V graph.NodeID // data node
+	U int          `json:"u"` // pattern node
+	V graph.NodeID `json:"v"` // data node
 }
 
 // Pairs returns the relation as a sorted list of pairs.

@@ -290,8 +290,8 @@ func TestJournalFailureSurfaces(t *testing.T) {
 	if code != http.StatusInternalServerError {
 		t.Fatalf("journaled-commit failure: code %d body %v (must be 500, not 4xx)", code, body)
 	}
-	if body["seq"].(float64) != 2 || body["error"] == nil {
-		t.Fatalf("500 body must carry the assigned seq and the error: %v", body)
+	if body["seq"].(float64) != 2 || body["code"] != CodeJournalFailed || body["message"] == nil {
+		t.Fatalf("500 body must carry the assigned seq and the journal_failed envelope: %v", body)
 	}
 	// The commit stands in memory: head advanced.
 	_, info := do(t, client, "GET", ts.URL+"/graph", "")

@@ -1,23 +1,36 @@
 // Package serve is the HTTP surface of the continuous-query subsystem:
-// the handler behind cmd/gpserve. It wraps a contq.Registry with endpoints
-// to load a graph, register/unregister standing patterns, ingest edge
-// updates, read current results, and stream match deltas over Server-Sent
-// Events. Request and response bodies reuse the repository's text formats
-// (graph/pattern/update files) on the way in and JSON on the way out, so
-// the server composes with the existing CLI tools and curl alike.
+// the handler behind cmd/gpserve. It wraps a contq.Registry with a
+// versioned wire API (all routes under /v1) to load a graph,
+// register/unregister standing patterns, ingest edge updates, read
+// current results, and stream match deltas over Server-Sent Events.
 //
-//	Method  Path                    Body (in)        Effect
-//	------  ----------------------  ---------------  ------------------------------
-//	POST    /graph                  graph text       load graph, reset registry
-//	GET     /graph                  —                graph + registry stats
-//	PUT     /patterns/{id}?kind=K   pattern text     register standing pattern
-//	GET     /patterns               —                list registered patterns
-//	GET     /patterns/{id}/result   —                current match relation
-//	DELETE  /patterns/{id}          —                unregister, close streams
-//	POST    /updates                update text      commit batch, fan out deltas
-//	GET     /patterns/{id}/stream   —                SSE: snapshot, then deltas
-//	GET     /commits?from=N         —                raw ΔG tail after seq N
-//	GET     /stats                  —                registry + journal stats
+//	Method  Path                       Body (in)             Effect
+//	------  -------------------------  --------------------  ------------------------------
+//	POST    /v1/graph                  graph text | JSON     load graph, reset registry
+//	GET     /v1/graph                  —                     graph + registry info
+//	PUT     /v1/patterns/{id}?kind=K   pattern text | JSON   register standing pattern
+//	GET     /v1/patterns               —                     list registered patterns
+//	GET     /v1/patterns/{id}/result   —                     current match relation
+//	DELETE  /v1/patterns/{id}          —                     unregister, close streams
+//	POST    /v1/updates                update text | JSON    commit batch, fan out deltas
+//	GET     /v1/patterns/{id}/stream   —                     SSE: snapshot, then deltas
+//	GET     /v1/commits?from=N         —                     raw ΔG tail after seq N
+//	GET     /v1/stats                  —                     registry + journal stats
+//	GET     /v1/healthz                —                     liveness (always 200)
+//	GET     /v1/readyz                 —                     readiness (registry + journal)
+//
+// Request bodies are content-negotiated: Content-Type application/json
+// selects the JSON wire documents (see the graph and pattern packages'
+// MarshalJSON), anything else the repository's line-oriented text
+// formats, so existing curl/CLI sessions keep working. Responses are
+// always JSON, and every failure is one uniform envelope
+// {"code", "message", "seq"?} with a stable machine-readable code (see
+// wire.go).
+//
+// The original unversioned routes remain as deprecated aliases of their
+// /v1 successors: same handlers, plus a "Deprecation: true" header and a
+// Link header naming the successor. New consumers should use /v1 (or the
+// typed client package, which does).
 //
 // Streams resume: every SSE frame carries its commit sequence as the SSE
 // id, so a dropped client reconnects with the standard Last-Event-ID
@@ -27,18 +40,19 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"gpm/internal/contq"
 	"gpm/internal/graph"
 	"gpm/internal/journal"
-	"gpm/internal/pattern"
-	"gpm/internal/rel"
 )
 
 // Server wraps a contq.Registry with the HTTP surface. Construct with New
@@ -53,7 +67,7 @@ type Server struct {
 }
 
 // New builds a server over an initially empty graph with a memory-only
-// journal, so SSE streams are resumable out of the box. POST /graph
+// journal, so SSE streams are resumable out of the box. POST /v1/graph
 // installs a real graph.
 func New(options ...contq.Option) *Server {
 	s := &Server{opts: options, journal: journal.New()}
@@ -77,19 +91,73 @@ func NewWithJournal(j *journal.Journal, options ...contq.Option) (*Server, error
 	return s, nil
 }
 
+// initMux builds the route table: every route once under /v1 (the
+// canonical surface) and once at its original unversioned path as a
+// deprecated alias. A known path with the wrong method gets a 405
+// envelope with an Allow header; an unknown path a 404 envelope.
 func (s *Server) initMux() {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /graph", s.loadGraph)
-	mux.HandleFunc("GET /graph", s.graphInfo)
-	mux.HandleFunc("PUT /patterns/{id}", s.register)
-	mux.HandleFunc("GET /patterns", s.listPatterns)
-	mux.HandleFunc("GET /patterns/{id}/result", s.result)
-	mux.HandleFunc("DELETE /patterns/{id}", s.unregister)
-	mux.HandleFunc("POST /updates", s.updates)
-	mux.HandleFunc("GET /patterns/{id}/stream", s.stream)
-	mux.HandleFunc("GET /commits", s.commits)
-	mux.HandleFunc("GET /stats", s.stats)
+	routes := []struct {
+		path    string
+		methods map[string]http.HandlerFunc
+		v1Only  bool
+	}{
+		{path: "/graph", methods: map[string]http.HandlerFunc{"POST": s.loadGraph, "GET": s.graphInfo}},
+		{path: "/patterns", methods: map[string]http.HandlerFunc{"GET": s.listPatterns}},
+		{path: "/patterns/{id}", methods: map[string]http.HandlerFunc{"PUT": s.register, "DELETE": s.unregister}},
+		{path: "/patterns/{id}/result", methods: map[string]http.HandlerFunc{"GET": s.result}},
+		{path: "/patterns/{id}/stream", methods: map[string]http.HandlerFunc{"GET": s.stream}},
+		{path: "/updates", methods: map[string]http.HandlerFunc{"POST": s.updates}},
+		{path: "/commits", methods: map[string]http.HandlerFunc{"GET": s.commits}},
+		{path: "/stats", methods: map[string]http.HandlerFunc{"GET": s.stats}},
+		{path: "/healthz", methods: map[string]http.HandlerFunc{"GET": s.healthz}, v1Only: true},
+		{path: "/readyz", methods: map[string]http.HandlerFunc{"GET": s.readyz}, v1Only: true},
+	}
+	for _, rt := range routes {
+		for m, h := range rt.methods {
+			mux.HandleFunc(m+" /v1"+rt.path, h)
+		}
+		mux.HandleFunc("/v1"+rt.path, methodNotAllowed(rt.methods))
+		if rt.v1Only {
+			continue
+		}
+		for m, h := range rt.methods {
+			mux.HandleFunc(m+" "+rt.path, deprecated(h))
+		}
+		mux.HandleFunc(rt.path, deprecated(methodNotAllowed(rt.methods)))
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no route %s", r.URL.Path))
+	})
 	s.mux = mux
+}
+
+// deprecated marks a legacy unversioned route: the same handler, plus the
+// RFC 8594-style Deprecation header and a Link to the /v1 successor, so
+// clients can migrate mechanically.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
+}
+
+// methodNotAllowed answers a known path with the wrong method: a 405
+// envelope plus the Allow header (the mux only reaches this fallback when
+// no method-specific pattern matched).
+func methodNotAllowed(methods map[string]http.HandlerFunc) http.HandlerFunc {
+	allowed := make([]string, 0, len(methods))
+	for m := range methods {
+		allowed = append(allowed, m)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Errorf("method %s not allowed (allow: %s)", r.Method, allow))
+	}
 }
 
 // registryOpts is the option set for a fresh registry: the caller's
@@ -114,7 +182,7 @@ func (s *Server) registry() *contq.Registry {
 func (s *Server) Journal() *journal.Journal { return s.journal }
 
 // Registry returns the server's current registry — for in-process
-// embedding and startup introspection. POST /graph swaps it; re-read
+// embedding and startup introspection. POST /v1/graph swaps it; re-read
 // rather than retain.
 func (s *Server) Registry() *contq.Registry { return s.registry() }
 
@@ -124,7 +192,7 @@ func (s *Server) Registry() *contq.Registry { return s.registry() }
 func (s *Server) Close() { s.registry().Close() }
 
 // LoadGraph installs g behind a fresh registry — the in-process
-// equivalent of POST /graph. The server takes ownership of g; all
+// equivalent of POST /v1/graph. The server takes ownership of g; all
 // previously registered patterns and streams are dropped, and the
 // journal is reset to a new world starting at g (for durable journals,
 // the old history is deleted and g is checkpointed at seq 0).
@@ -144,41 +212,18 @@ func (s *Server) LoadGraph(g *graph.Graph) error {
 	return nil
 }
 
-// pairJSON is one (pattern node, data node) match pair on the wire.
-type pairJSON struct {
-	U int          `json:"u"`
-	V graph.NodeID `json:"v"`
-}
-
-func pairsJSON(ps []rel.Pair) []pairJSON {
-	out := make([]pairJSON, len(ps))
-	for i, p := range ps {
-		out[i] = pairJSON{U: p.U, V: p.V}
-	}
-	return out
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
 // loadGraph installs a freshly parsed graph behind a new registry,
 // dropping all registered patterns and subscriptions (standing queries are
 // defined against one graph; a new graph is a new world).
 func (s *Server) loadGraph(w http.ResponseWriter, r *http.Request) {
-	g, err := graph.Read(r.Body)
+	g, err := readGraphBody(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidGraph, err)
 		return
 	}
 	if err := s.LoadGraph(g); err != nil {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("graph loaded but journal reset failed: %w", err))
+		writeError(w, http.StatusInternalServerError, CodeInternal,
+			fmt.Errorf("graph loaded but journal reset failed: %w", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"nodes": g.NumNodes(), "edges": g.NumEdges()})
@@ -198,32 +243,53 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.registry().Stats())
 }
 
+// healthz is the liveness probe: the process is up and serving HTTP.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// readyz is the readiness probe: the registry accepts writes and the
+// journal accepts appends. A closed registry (shutdown in progress) or a
+// broken journal (sticky append failure: commits would apply in memory
+// but stop being durable or replayable) answers 503, telling
+// orchestrators and followers to route around this instance.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	if s.registry().Closed() {
+		writeError(w, http.StatusServiceUnavailable, CodeNotReady, errors.New("registry closed"))
+		return
+	}
+	if err := s.journal.Broken(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeNotReady,
+			fmt.Errorf("journal not accepting appends: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "seq": s.registry().Seq()})
+}
+
 func (s *Server) register(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	p, err := pattern.Parse(r.Body)
+	p, err := readPatternBody(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidPattern, err)
 		return
 	}
 	kind := contq.Kind(r.URL.Query().Get("kind"))
 	if kind == "" {
 		kind = contq.KindAuto
 	}
-	if err := s.registry().Register(id, p, kind); err != nil {
-		// Only a duplicate id is a conflict worth retrying under another
-		// name; bad kinds or kind/pattern mismatches are client errors.
-		status := http.StatusBadRequest
-		switch {
-		case errors.Is(err, contq.ErrAlreadyRegistered):
-			status = http.StatusConflict
-		case errors.Is(err, contq.ErrClosed):
-			status = http.StatusServiceUnavailable
-		}
-		writeErr(w, status, err)
+	reg := s.registry()
+	if err := reg.Register(id, p, kind); err != nil {
+		status, code := classify(err, http.StatusBadRequest, CodeInvalidPattern)
+		writeError(w, status, code, err)
 		return
 	}
+	// Echo the kind the registry resolved (auto → sim/bsim), so clients
+	// learn the backing engine without a second round trip.
+	if resolved, ok := reg.Kind(id); ok {
+		kind = resolved
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"id": id, "nodes": p.NumNodes(), "edges": p.NumEdges(),
+		"id": id, "kind": kind, "nodes": p.NumNodes(), "edges": p.NumEdges(),
 	})
 }
 
@@ -244,42 +310,46 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	res, ok := reg.Result(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("pattern %q not registered", id))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("pattern %q not registered", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"id": id, "seq": reg.Seq(), "size": res.Size(), "pairs": pairsJSON(res.Pairs()),
+		"id": id, "seq": reg.Seq(), "size": res.Size(), "pairs": pairsOrEmpty(res.Pairs()),
 	})
 }
 
 func (s *Server) unregister(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.registry().Unregister(id) {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("pattern %q not registered", id))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("pattern %q not registered", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "unregistered": true})
 }
 
 func (s *Server) updates(w http.ResponseWriter, r *http.Request) {
-	ups, err := graph.ReadUpdates(r.Body)
+	ups, err := readUpdatesBody(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidUpdates, err)
 		return
 	}
-	seq, err := s.registry().Apply(ups)
+	seq, err := s.registry().ApplyContext(r.Context(), ups)
 	if err != nil {
 		// seq != 0 means the batch WAS committed and published but a
 		// server-side step after it failed (journal append): that is a
 		// 5xx carrying the assigned seq, not a rejected request — a 4xx
 		// would tell the client its state diverged when it did not.
 		if seq != 0 {
-			writeJSON(w, http.StatusInternalServerError, map[string]any{
-				"seq": seq, "updates": len(ups), "error": err.Error(),
+			writeJSON(w, http.StatusInternalServerError, ErrorBody{
+				Code: CodeJournalFailed, Message: err.Error(), Seq: seq,
 			})
 			return
 		}
-		writeErr(w, http.StatusBadRequest, err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return // the client is gone; nobody reads this response
+		}
+		status, code := classify(err, http.StatusBadRequest, CodeInvalidUpdates)
+		writeError(w, status, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "updates": len(ups)})
@@ -330,37 +400,39 @@ func resumeSeq(r *http.Request) (seq uint64, ok bool, err error) {
 // journal no longer retains the range (compacted, or the seq is ahead of
 // a recovered head), the server falls back to the snapshot path — the
 // client detects this by receiving a "snapshot" event and rebases.
+//
+// The request context is honored end to end: a canceled client tears the
+// subscription down even while the resume backfill is still replaying.
 func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("streaming unsupported"))
 		return
 	}
 	id := r.PathValue("id")
 	from, resume, err := resumeSeq(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidSeq, err)
 		return
 	}
+	ctx := r.Context()
 	reg := s.registry()
 	var sub *contq.Subscription
 	if resume {
-		sub, err = reg.Subscribe(id, contq.FromSeq(from))
-		if err != nil && !errors.Is(err, contq.ErrNotRegistered) && !errors.Is(err, contq.ErrClosed) {
+		sub, err = reg.SubscribeContext(ctx, id, contq.FromSeq(from))
+		if err != nil && !errors.Is(err, contq.ErrNotRegistered) &&
+			!errors.Is(err, contq.ErrClosed) && ctx.Err() == nil {
 			// Unresumable (journal compacted, seq ahead of a recovered
 			// head): fall back to a fresh snapshot subscription.
 			resume = false
-			sub, err = reg.Subscribe(id)
+			sub, err = reg.SubscribeContext(ctx, id)
 		}
 	} else {
-		sub, err = reg.Subscribe(id)
+		sub, err = reg.SubscribeContext(ctx, id)
 	}
 	if err != nil {
-		status := http.StatusNotFound
-		if errors.Is(err, contq.ErrClosed) {
-			status = http.StatusServiceUnavailable
-		}
-		writeErr(w, status, err)
+		status, code := classify(err, http.StatusInternalServerError, CodeInternal)
+		writeError(w, status, code, err)
 		return
 	}
 	defer sub.Cancel()
@@ -374,7 +446,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	flusher.Flush()
 	if !resume {
 		snap := map[string]any{
-			"id": id, "seq": sub.Seq, "size": sub.Snapshot.Size(), "pairs": pairsJSON(sub.Snapshot.Pairs()),
+			"id": id, "seq": sub.Seq, "size": sub.Snapshot.Size(), "pairs": pairsOrEmpty(sub.Snapshot.Pairs()),
 		}
 		if err := sseEvent(w, flusher, "snapshot", sub.Seq, snap); err != nil {
 			return
@@ -382,7 +454,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	}
 	for {
 		select {
-		case <-r.Context().Done():
+		case <-ctx.Done():
 			return
 		case ev, ok := <-sub.C:
 			if !ok {
@@ -390,7 +462,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 			}
 			frame := map[string]any{
 				"id": ev.Pattern, "seq": ev.Seq,
-				"added": pairsJSON(ev.Delta.Added), "removed": pairsJSON(ev.Delta.Removed),
+				"added": pairsOrEmpty(ev.Delta.Added), "removed": pairsOrEmpty(ev.Delta.Removed),
 			}
 			if err := sseEvent(w, flusher, "delta", ev.Seq, frame); err != nil {
 				return
@@ -407,7 +479,7 @@ func (s *Server) commits(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("from"); raw != "" {
 		v, err := strconv.ParseUint(raw, 10, 64)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from seq %q: %w", raw, err))
+			writeError(w, http.StatusBadRequest, CodeInvalidSeq, fmt.Errorf("bad from seq %q: %w", raw, err))
 			return
 		}
 		from = v
@@ -415,27 +487,13 @@ func (s *Server) commits(w http.ResponseWriter, r *http.Request) {
 	reg := s.registry()
 	recs, err := reg.Replay(from)
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, journal.ErrCompacted):
-			status = http.StatusGone // resync from a snapshot (GET /graph + /result)
-		case errors.Is(err, contq.ErrSeqFuture):
-			status = http.StatusBadRequest
-		}
-		writeErr(w, status, err)
+		status, code := classify(err, http.StatusInternalServerError, CodeInternal)
+		writeError(w, status, code, err)
 		return
 	}
 	out := make([]map[string]any, 0, len(recs))
 	for _, rec := range recs {
-		ups := make([]map[string]any, 0, len(rec.Updates))
-		for _, up := range rec.Updates {
-			op := "insert"
-			if up.Op == graph.DeleteEdge {
-				op = "delete"
-			}
-			ups = append(ups, map[string]any{"op": op, "from": up.From, "to": up.To})
-		}
-		out = append(out, map[string]any{"seq": rec.Seq, "updates": ups})
+		out = append(out, map[string]any{"seq": rec.Seq, "updates": updatesOrEmpty(rec.Updates)})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"from": from, "head": reg.Seq(), "commits": out})
 }

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"mime"
+	"net/http"
+	"strings"
+
+	"gpm/internal/contq"
+	"gpm/internal/graph"
+	"gpm/internal/journal"
+	"gpm/internal/pattern"
+	"gpm/internal/rel"
+)
+
+// The v1 error contract: every failure is one JSON envelope
+//
+//	{"code": "<stable machine-readable code>", "message": "<human text>", "seq": N?}
+//
+// where seq appears only on the committed-but-not-durable failure (the
+// batch holds sequence N in memory but the journal append failed). Codes
+// are part of the wire contract — clients switch on them, never on
+// message text.
+const (
+	// CodeInvalidGraph, CodeInvalidPattern and CodeInvalidUpdates report
+	// an unparseable or invalid request document (text or JSON).
+	CodeInvalidGraph   = "invalid_graph"
+	CodeInvalidPattern = "invalid_pattern"
+	CodeInvalidUpdates = "invalid_updates"
+	// CodeInvalidKind reports an unknown ?kind= or a kind the pattern
+	// cannot back (mapped from contq.ErrBadKind).
+	CodeInvalidKind = "invalid_kind"
+	// CodeInvalidSeq reports an unparseable ?from= or Last-Event-ID.
+	CodeInvalidSeq = "invalid_seq"
+	// CodeNotFound reports an unregistered pattern id (or unknown route).
+	CodeNotFound = "not_found"
+	// CodeAlreadyRegistered reports a duplicate pattern id (retry under
+	// another name; mapped from contq.ErrAlreadyRegistered).
+	CodeAlreadyRegistered = "already_registered"
+	// CodeClosed reports a registry shutting down (mapped from
+	// contq.ErrClosed); retry against a live instance.
+	CodeClosed = "closed"
+	// CodeCompacted reports a replay range the journal no longer retains
+	// (mapped from journal.ErrCompacted); resync from a snapshot.
+	CodeCompacted = "compacted"
+	// CodeSeqFuture reports a resume sequence ahead of the head (mapped
+	// from contq.ErrSeqFuture); the client's state diverged — resync.
+	CodeSeqFuture = "seq_future"
+	// CodeMethodNotAllowed reports a known route with the wrong method;
+	// the Allow header lists the methods the route accepts.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotReady is /v1/readyz's failure: the registry is closed or the
+	// journal stopped accepting appends.
+	CodeNotReady = "not_ready"
+	// CodeJournalFailed reports a commit that was applied and published
+	// but could not be journaled — the envelope's seq carries the
+	// assigned sequence number; the state stands in memory but is not
+	// durable.
+	CodeJournalFailed = "journal_failed"
+	// CodeInternal is the residual server-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the v1 error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Seq     uint64 `json:"seq,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+// writeError emits the error envelope.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorBody{Code: code, Message: err.Error()})
+}
+
+// classify maps the contq/journal sentinel errors to their wire status
+// and code; fallback is the caller's "bad input" classification.
+func classify(err error, fallbackStatus int, fallbackCode string) (int, string) {
+	switch {
+	case errors.Is(err, contq.ErrNotRegistered):
+		return http.StatusNotFound, CodeNotFound
+	case errors.Is(err, contq.ErrAlreadyRegistered):
+		return http.StatusConflict, CodeAlreadyRegistered
+	case errors.Is(err, contq.ErrClosed):
+		return http.StatusServiceUnavailable, CodeClosed
+	case errors.Is(err, contq.ErrBadKind):
+		return http.StatusBadRequest, CodeInvalidKind
+	case errors.Is(err, journal.ErrCompacted):
+		return http.StatusGone, CodeCompacted
+	case errors.Is(err, contq.ErrSeqFuture):
+		return http.StatusBadRequest, CodeSeqFuture
+	}
+	return fallbackStatus, fallbackCode
+}
+
+// isJSON reports whether the request body is a JSON document (by
+// Content-Type); anything else is read as the repository's text formats,
+// keeping curl/CLI sessions working unchanged.
+func isJSON(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return false
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == "application/json" || strings.HasSuffix(mt, "+json")
+}
+
+// readGraphBody negotiates the graph request body: the JSON wire document
+// under Content-Type application/json, the text format otherwise.
+func readGraphBody(r *http.Request) (*graph.Graph, error) {
+	if !isJSON(r) {
+		return graph.Read(r.Body)
+	}
+	g := graph.New()
+	if err := json.NewDecoder(r.Body).Decode(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// readPatternBody negotiates the pattern request body.
+func readPatternBody(r *http.Request) (*pattern.Pattern, error) {
+	if !isJSON(r) {
+		return pattern.Parse(r.Body)
+	}
+	p := pattern.New()
+	if err := json.NewDecoder(r.Body).Decode(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// readUpdatesBody negotiates the update-batch request body: a JSON array
+// of {"op","from","to"} documents, or the one-update-per-line text format.
+func readUpdatesBody(r *http.Request) ([]graph.Update, error) {
+	if !isJSON(r) {
+		return graph.ReadUpdates(r.Body)
+	}
+	var ups []graph.Update
+	if err := json.NewDecoder(r.Body).Decode(&ups); err != nil {
+		return nil, err
+	}
+	return ups, nil
+}
+
+// pairsOrEmpty keeps empty pair lists rendering as [] (never null) on the
+// wire.
+func pairsOrEmpty(ps []rel.Pair) []rel.Pair {
+	if ps == nil {
+		return []rel.Pair{}
+	}
+	return ps
+}
+
+// updatesOrEmpty keeps empty update batches rendering as [] on the wire.
+func updatesOrEmpty(ups []graph.Update) []graph.Update {
+	if ups == nil {
+		return []graph.Update{}
+	}
+	return ups
+}
