@@ -292,7 +292,10 @@ func (c *Client) Commits(ctx context.Context, from uint64) (CommitTail, error) {
 	return out, err
 }
 
-// Stats fetches the registry and journal statistics.
+// Stats fetches the registry, journal and shared-network statistics. The
+// Network field (non-nil unless the server disabled the shared evaluation
+// network) reports how much state structurally-overlapping standing
+// patterns share and how many per-pattern repairs that sharing saved.
 func (c *Client) Stats(ctx context.Context) (gpm.RegistryStats, error) {
 	var out gpm.RegistryStats
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)

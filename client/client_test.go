@@ -178,6 +178,9 @@ func TestClientEndToEnd(t *testing.T) {
 	if stats.Journal == nil || stats.Journal.HeadSeq != lastSeq {
 		t.Fatalf("Stats journal: %+v", stats.Journal)
 	}
+	if stats.Network == nil || stats.Network.Patterns != 1 || stats.Network.JoinNodes != 1 {
+		t.Fatalf("Stats network: %+v", stats.Network)
+	}
 
 	// Unregister closes the stream.
 	if err := c.Unregister(ctx, "chain"); err != nil {

@@ -9,6 +9,12 @@
 // noise. Figures present on only one side are reported but never fail the
 // gate (the suite may grow).
 //
+// -per-figure overrides the global pair for named figures, so a noisy or
+// deliberately heavyweight figure can carry its own gate without loosening
+// every other figure's: "net1=0.60+150,20d=0.40+100" gives net1 a 60%
+// relative / 150ms absolute budget and 20d 40%/100ms, while the rest keep
+// -threshold/-min-ms.
+//
 // -normalize rescales the baseline by the median current/baseline ratio
 // before comparing, so a committed baseline measured on different hardware
 // still gates meaningfully: a uniformly faster or slower machine shifts
@@ -21,6 +27,7 @@
 //
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_run.json
 //	benchdiff -baseline old.json -current new.json -threshold 0.25 -min-ms 50 -normalize
+//	benchdiff -baseline old.json -current new.json -per-figure "net1=0.60+150"
 //
 // Exit status: 0 when no figure regresses, 1 on regression, 2 on bad input.
 package main
@@ -33,7 +40,52 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
+
+// gate is one figure's regression budget: relative threshold and absolute
+// slack, both of which must be exceeded to fail.
+type gate struct {
+	threshold float64
+	minMS     float64
+}
+
+// parsePerFigure parses the -per-figure syntax: comma-separated
+// "figure=threshold+minms" entries, e.g. "net1=0.60+150,20d=0.40+100".
+func parsePerFigure(s string) (map[string]gate, error) {
+	gates := make(map[string]gate)
+	if s == "" {
+		return gates, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("per-figure entry %q: want figure=threshold+minms", entry)
+		}
+		rel, abs, ok := strings.Cut(spec, "+")
+		if !ok {
+			return nil, fmt.Errorf("per-figure entry %q: want figure=threshold+minms", entry)
+		}
+		g := gate{}
+		var err error
+		if g.threshold, err = strconv.ParseFloat(rel, 64); err != nil || g.threshold < 0 {
+			return nil, fmt.Errorf("per-figure entry %q: bad threshold %q", entry, rel)
+		}
+		if g.minMS, err = strconv.ParseFloat(abs, 64); err != nil || g.minMS < 0 {
+			return nil, fmt.Errorf("per-figure entry %q: bad min-ms %q", entry, abs)
+		}
+		if _, dup := gates[name]; dup {
+			return nil, fmt.Errorf("per-figure entry %q: figure named twice", entry)
+		}
+		gates[name] = g
+	}
+	return gates, nil
+}
 
 // run mirrors the fields of gpbench's jsonRun that the gate needs.
 type run struct {
@@ -92,6 +144,7 @@ func main() {
 		current    = flag.String("current", "", "current gpbench -json file")
 		threshold  = flag.Float64("threshold", 0.25, "relative elapsed_ms regression that fails the gate")
 		minMS      = flag.Float64("min-ms", 50, "absolute elapsed_ms slack: smaller deltas never fail")
+		perFigure  = flag.String("per-figure", "", `per-figure gate overrides: "fig=threshold+minms,..." (e.g. "net1=0.60+150")`)
 		normalize  = flag.Bool("normalize", false, "rescale baseline by the median current/baseline ratio (cross-machine baselines)")
 		history    = flag.String("history", "", "print the per-figure trend from a BENCH_history.ndjson file, then exit")
 		histAppend = flag.String("history-append", "", "append this run's figures and verdict to a BENCH_history.ndjson file")
@@ -108,6 +161,11 @@ func main() {
 	if *current == "" {
 		log.Println("missing -current")
 		flag.Usage()
+		os.Exit(2)
+	}
+	gates, err := parsePerFigure(*perFigure)
+	if err != nil {
+		log.Println(err)
 		os.Exit(2)
 	}
 	base, err := readRuns(*baseline)
@@ -163,10 +221,17 @@ func main() {
 		if ref > 0 {
 			ratio = c.ElapsedMS / ref
 		}
+		g, custom := gates[name]
+		if !custom {
+			g = gate{threshold: *threshold, minMS: *minMS}
+		}
 		verdict := "ok"
-		if c.ElapsedMS-ref > *minMS && c.ElapsedMS > ref*(1+*threshold) {
-			verdict = fmt.Sprintf("REGRESSION (>%d%%)", int(*threshold*100))
+		if c.ElapsedMS-ref > g.minMS && c.ElapsedMS > ref*(1+g.threshold) {
+			verdict = fmt.Sprintf("REGRESSION (>%d%%)", int(g.threshold*100))
 			regressions++
+		}
+		if custom {
+			verdict += fmt.Sprintf(" [gate %d%%+%.0fms]", int(g.threshold*100), g.minMS)
 		}
 		fmt.Printf("%-8s %12.1f %12.1f %7.2fx  %s\n", name, ref, c.ElapsedMS, ratio, verdict)
 	}
@@ -191,7 +256,7 @@ func main() {
 		}
 	}
 	if regressions > 0 {
-		log.Printf("%d figure(s) regressed beyond %.0f%% + %.0fms", regressions, *threshold*100, *minMS)
+		log.Printf("%d figure(s) regressed beyond their gate (default %.0f%% + %.0fms)", regressions, *threshold*100, *minMS)
 		os.Exit(1)
 	}
 }

@@ -34,6 +34,7 @@ var drivers = map[string]func(exp.Config) exp.Table{
 	"19a": exp.Fig19a, "19b": exp.Fig19b, "19c": exp.Fig19c, "19d": exp.Fig19d,
 	"20a": exp.Fig20a, "20b": exp.Fig20b, "20c": exp.Fig20c, "20d": exp.Fig20d,
 	"20e": exp.Fig20e, "20f": exp.Fig20f,
+	"net1":   exp.FigNet1,
 	"table1": exp.Table1Witnesses,
 }
 

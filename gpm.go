@@ -50,6 +50,7 @@ import (
 	"gpm/internal/contq"
 	"gpm/internal/core"
 	"gpm/internal/distance"
+	"gpm/internal/gdn"
 	"gpm/internal/graph"
 	"gpm/internal/incbsim"
 	"gpm/internal/incsim"
@@ -122,6 +123,13 @@ type (
 	// commit sequence, shared-graph size and the writer's coalescing
 	// counters (see Registry.Stats).
 	RegistryStats = contq.Stats
+	// NetworkStats reports the shared sub-pattern evaluation network
+	// behind a registry's sim/bsim patterns: how many shared predicate /
+	// edge / join nodes back the registered patterns, how many
+	// registrations reused an existing engine, and how many per-pattern
+	// repairs sharing plus relevance filtering saved
+	// (RegistryStats.Network).
+	NetworkStats = gdn.Stats
 	// GraphView is the read-only face of a data graph that matching
 	// engines read through; *Graph satisfies it.
 	GraphView = graph.View

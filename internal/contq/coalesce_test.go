@@ -224,6 +224,7 @@ type panicMatcher struct{}
 
 func (panicMatcher) apply(ups []graph.Update) rel.Delta { panic("boom") }
 func (panicMatcher) result() rel.Relation               { return rel.NewRelation(1) }
+func (panicMatcher) release()                           {}
 
 // TestPanickingEngineIsEvicted: a panic inside one engine's repair is
 // contained to that pattern — the commit itself proceeds (the other

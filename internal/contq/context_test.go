@@ -16,16 +16,18 @@ import (
 // expensive engine, letting tests observe the writer mid-commit.
 type blockMatcher struct {
 	entered chan struct{} // closed when a repair starts
-	release chan struct{} // the repair returns when this closes
+	unblock chan struct{} // the repair returns when this closes
 }
 
 func (m *blockMatcher) apply(ups []graph.Update) rel.Delta {
 	close(m.entered)
-	<-m.release
+	<-m.unblock
 	return rel.Delta{}
 }
 
 func (m *blockMatcher) result() rel.Relation { return rel.NewRelation(1) }
+
+func (m *blockMatcher) release() {}
 
 // TestApplyContextCanceledBeforeCall: a dead context fails fast without
 // touching the queue.
@@ -50,7 +52,7 @@ func TestApplyContextWithdrawsQueuedBatch(t *testing.T) {
 	seed := int64(2)
 	g := generator.Synthetic(20, 60, generator.DefaultSchema(3), seed)
 	reg := New(g)
-	bm := &blockMatcher{entered: make(chan struct{}), release: make(chan struct{})}
+	bm := &blockMatcher{entered: make(chan struct{}), unblock: make(chan struct{})}
 	reg.mu.Lock()
 	reg.pats["slow"] = &registration{id: "slow", kind: KindSim, m: bm, subs: make(map[*Subscription]struct{})}
 	reg.mu.Unlock()
@@ -84,7 +86,7 @@ func TestApplyContextWithdrawsQueuedBatch(t *testing.T) {
 		t.Fatalf("canceled ApplyContext: seq=%d err=%v", seq, err)
 	}
 
-	close(bm.release)
+	close(bm.unblock)
 	<-firstDone
 	// Only the first batch committed: the withdrawn one advanced nothing.
 	if got := reg.Seq(); got != 1 {

@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gpm/internal/gdn"
 	"gpm/internal/graph"
 	"gpm/internal/journal"
 	"gpm/internal/par"
@@ -162,6 +163,19 @@ type Registry struct {
 	engineW int // worker count handed to each engine's internal sweeps
 	closed  bool
 
+	// net, when non-nil, is the shared sub-pattern evaluation network:
+	// sim/bsim patterns register into it instead of getting private
+	// engines, so structurally overlapping standing patterns share
+	// predicate satisfaction sets, single-edge match state and — for
+	// patterns identical up to node renumbering — whole engines. The
+	// writer repairs the network once per commit (before the matcher
+	// fan-out); each pattern's matcher then just reads its remapped delta.
+	// Iso patterns always stay private (embedding enumeration does not
+	// decompose), as do the throwaway engines FromSeq backfill builds over
+	// rewound graphs. Nil when WithoutNetwork was given.
+	net   *gdn.Network
+	noNet bool
+
 	// journal, when set, records every commit (seq + net ΔG) and pattern
 	// registration/unregistration, making the commit stream replayable:
 	// Subscribe(FromSeq) backfills missed deltas, Replay serves raw ΔG
@@ -234,6 +248,14 @@ func WithEngineWorkers(n int) Option {
 	return func(r *Registry) { r.engineW = n }
 }
 
+// WithoutNetwork disables the shared sub-pattern evaluation network:
+// every pattern gets a private engine, the organisation the registry had
+// before the network existed. Mainly for equivalence tests and A/B
+// benchmarks; results and deltas are identical either way.
+func WithoutNetwork() Option {
+	return func(r *Registry) { r.noNet = true }
+}
+
 // New builds a registry over g, taking ownership of it. When a journal is
 // attached (WithJournal) and it is brand new, it is seeded with a
 // snapshot of g so crash recovery can replay commits over the starting
@@ -242,6 +264,9 @@ func New(g *graph.Graph, options ...Option) *Registry {
 	r := &Registry{g: g, pats: make(map[string]*registration), engineW: 1}
 	for _, o := range options {
 		o(r)
+	}
+	if !r.noNet {
+		r.net = gdn.New(g, r.workers)
 	}
 	if r.journal != nil {
 		r.journal.Bootstrap(g) //nolint:errcheck // failure lands in journal.Stats.LastError
@@ -274,22 +299,40 @@ func (r *Registry) Register(id string, p *pattern.Pattern, kind Kind) error {
 	}
 	// Engines share the canonical graph: each reads it through a private
 	// update overlay, so registering P patterns costs P × pattern-state,
-	// not P graph clones.
-	m, err := newMatcher(kind, p, r.g, r.engineW)
-	if err != nil {
-		return err
+	// not P graph clones. Sim/bsim patterns go one step further and enter
+	// the shared evaluation network, where structurally identical
+	// sub-patterns (and whole patterns, up to renumbering) share state
+	// with every other registered pattern.
+	var m matcher
+	if r.net != nil && (kind == KindSim || kind == KindBSim) {
+		h, herr := r.net.Register(string(kind), p)
+		if herr != nil {
+			// The network only rejects patterns that do not fit the kind
+			// (same contract as the private engines' constructors).
+			return fmt.Errorf("%w: %w", ErrBadKind, herr)
+		}
+		m = netMatcher{h}
+	} else {
+		var err error
+		m, err = newMatcher(kind, p, r.g, r.engineW)
+		if err != nil {
+			return err
+		}
 	}
 	r.mu.RLock()
 	seq := r.seq
 	r.mu.RUnlock()
 	// Journal the registration (with the resolved kind) before installing
-	// it, so a pattern is never live without being recoverable.
+	// it, so a pattern is never live without being recoverable. On failure
+	// the matcher must give back any network state it acquired.
 	if r.journal != nil {
 		var def bytes.Buffer
 		if err := p.Write(&def); err != nil {
+			m.release()
 			return fmt.Errorf("contq: serializing pattern %q: %w", id, err)
 		}
 		if err := r.journal.AppendRegister(seq, id, string(kind), def.Bytes()); err != nil {
+			m.release()
 			return fmt.Errorf("contq: journaling pattern %q: %w", id, err)
 		}
 	}
@@ -318,6 +361,7 @@ func (r *Registry) Unregister(id string) bool {
 		// stats (LastError); the unregistration itself stands.
 		r.journal.AppendUnregister(seq, id) //nolint:errcheck // see above
 	}
+	reg.m.release()
 	reg.mu.Lock()
 	subs := make([]*Subscription, 0, len(reg.subs))
 	for s := range reg.subs {
@@ -540,6 +584,16 @@ func (r *Registry) commit(batch []*applyReq) {
 	}
 	effective := graph.NetUpdates(r.g, combined)
 
+	// Repair the shared evaluation network once for the whole commit,
+	// before the per-pattern fan-out: every network-backed matcher's apply
+	// below just reads its pattern's cached (remapped) delta. A shared node
+	// whose repair panicked marks itself broken; the affected patterns'
+	// matchers then panic inside the fan-out and are evicted individually,
+	// exactly like a private engine that panicked.
+	if r.net != nil && len(effective) > 0 {
+		r.net.Apply(effective)
+	}
+
 	// Fan the effective ΔG out to every engine: they read the canonical
 	// graph (immutable until below) through private overlays, so repairs
 	// run in parallel without sharing mutable state. A panicking repair is
@@ -643,6 +697,7 @@ func (r *Registry) evictLocked(reg *registration, seq uint64) {
 	if r.journal != nil {
 		r.journal.AppendUnregister(seq, reg.id) //nolint:errcheck // recorded in journal.Stats
 	}
+	reg.m.release()
 	reg.mu.Lock()
 	subs := make([]*Subscription, 0, len(reg.subs))
 	for s := range reg.subs {
@@ -842,6 +897,13 @@ type Stats struct {
 	// panicked during a repair (their match state became undefined); a
 	// nonzero value means subscribers saw their streams close.
 	PatternsEvicted uint64 `json:"patterns_evicted"`
+	// Network, when the registry runs the shared sub-pattern evaluation
+	// network (the default), reports its shape and sharing counters: how
+	// many shared nodes back the registered patterns, how many
+	// registrations reused an existing join, and how many per-pattern
+	// repairs sharing plus relevance filtering saved. Nil when the
+	// registry was built WithoutNetwork.
+	Network *gdn.Stats `json:"network,omitempty"`
 	// Journal, when the registry has one, reports the commit log's
 	// retention and footprint (appended commits, segments, bytes, oldest
 	// retained seq).
@@ -856,10 +918,16 @@ func (r *Registry) Stats() Stats {
 		s := r.journal.Stats()
 		js = &s
 	}
+	var ns *gdn.Stats
+	if r.net != nil {
+		s := r.net.Stats()
+		ns = &s
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return Stats{
 		Journal:          js,
+		Network:          ns,
 		Patterns:         len(r.pats),
 		Seq:              r.seq,
 		Nodes:            r.g.NumNodes(),
@@ -894,6 +962,9 @@ func (r *Registry) Close() {
 	}
 	r.writeMu.Unlock()
 	for _, reg := range pats {
+		// Safe without writeMu: closed is set, so no commit, Register or
+		// Unregister can touch these matchers again.
+		reg.m.release()
 		reg.mu.Lock()
 		subs := make([]*Subscription, 0, len(reg.subs))
 		for s := range reg.subs {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gpm/internal/gdn"
 	"gpm/internal/graph"
 	"gpm/internal/incbsim"
 	"gpm/internal/incsim"
@@ -22,10 +23,13 @@ import (
 // next apply (the shared-storage protocol). apply calls are serialized by
 // the registry's writer lock (one in flight per matcher) but run
 // concurrently with result on other goroutines, so every matcher must
-// support that overlap.
+// support that overlap. release frees any shared evaluation-network state
+// behind the matcher (a no-op for private engines) and is called exactly
+// once, under the writer lock, when the pattern leaves the registry.
 type matcher interface {
 	apply(ups []graph.Update) rel.Delta
 	result() rel.Relation
+	release()
 }
 
 // newMatcher builds the engine for a kind over the shared base view. No
@@ -69,6 +73,8 @@ func (m simMatcher) apply(ups []graph.Update) rel.Delta {
 
 func (m simMatcher) result() rel.Relation { return m.eng.Result() }
 
+func (m simMatcher) release() {}
+
 // bsimMatcher backs a b-pattern with incremental bounded simulation.
 type bsimMatcher struct{ eng *incbsim.Engine }
 
@@ -77,6 +83,8 @@ func (m bsimMatcher) apply(ups []graph.Update) rel.Delta {
 }
 
 func (m bsimMatcher) result() rel.Relation { return m.eng.Result() }
+
+func (m bsimMatcher) release() {}
 
 // isoMatcher backs a normal pattern with incremental subgraph isomorphism.
 // The relation view is the union of embeddings projected to (u, v) pairs,
@@ -168,3 +176,21 @@ func (m *isoMatcher) apply(ups []graph.Update) rel.Delta {
 }
 
 func (m *isoMatcher) result() rel.Relation { return *m.snap.Load() }
+
+func (m *isoMatcher) release() {}
+
+// netMatcher backs a sim/bsim pattern with its handle into the shared
+// evaluation network (internal/gdn). The registry repairs the network once
+// per commit (Registry.commit calls net.Apply before the matcher fan-out),
+// so apply just reports the handle's cached per-commit delta, remapped into
+// the pattern's own node numbering; ups is ignored — the network already
+// consumed the same batch. A handle whose shared join broke panics inside
+// apply, which is exactly the per-pattern eviction signal the registry's
+// fan-out recovery expects.
+type netMatcher struct{ h *gdn.Handle }
+
+func (m netMatcher) apply(ups []graph.Update) rel.Delta { return m.h.Delta() }
+
+func (m netMatcher) result() rel.Relation { return m.h.Result() }
+
+func (m netMatcher) release() { m.h.Release() }

@@ -1,0 +1,274 @@
+package contq
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpm/internal/generator"
+	"gpm/internal/journal"
+	"gpm/internal/pattern"
+	"gpm/internal/rel"
+)
+
+// These tests pin the shared evaluation network's registry-level contract:
+// a registry routing sim/bsim patterns through internal/gdn must be
+// observationally identical to one built WithoutNetwork — same Result,
+// same per-commit ΔM on subscriptions, same FromSeq backfill — while its
+// sharing counters prove the marginal cost of overlapping patterns drops.
+
+// renumberPattern relabels p by the permutation m (m[orig] = new id).
+func renumberPattern(t *testing.T, p *pattern.Pattern, m []int) *pattern.Pattern {
+	t.Helper()
+	inv := make([]int, len(m))
+	for u, c := range m {
+		inv[c] = u
+	}
+	q := pattern.New()
+	for c := range inv {
+		q.AddNode(p.Pred(inv[c]))
+	}
+	for _, e := range p.Edges() {
+		if err := q.AddColoredEdge(m[e.From], m[e.To], e.Bound, e.Color); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return q
+}
+
+func sameDelta(a, b rel.Delta) bool {
+	a.Sort()
+	b.Sort()
+	if len(a.Removed) != len(b.Removed) || len(a.Added) != len(b.Added) {
+		return false
+	}
+	for i := range a.Removed {
+		if a.Removed[i] != b.Removed[i] {
+			return false
+		}
+	}
+	for i := range a.Added {
+		if a.Added[i] != b.Added[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNetworkRegistryEquivalence drives a networked registry and a
+// WithoutNetwork twin with the same patterns and the same update stream,
+// asserting every subscriber event and every Result snapshot agree.
+func TestNetworkRegistryEquivalence(t *testing.T) {
+	seed := int64(31)
+	g := generator.RandomGraph(50, 120, 3, seed)
+	netReg := New(g.Clone())
+	defer netReg.Close()
+	privReg := New(g.Clone(), WithoutNetwork())
+	defer privReg.Close()
+	if netReg.net == nil || privReg.net != nil {
+		t.Fatalf("network default wrong: net=%v priv=%v", netReg.net, privReg.net)
+	}
+
+	sim := generator.RandomPattern(3, 3, 3, 1, seed+1)
+	bsim := generator.RandomPattern(3, 3, 3, 3, seed+2)
+	pats := map[string]struct {
+		p    *pattern.Pattern
+		kind Kind
+	}{
+		"sim":       {sim, KindSim},
+		"sim-twin":  {renumberPattern(t, sim, []int{2, 0, 1}), KindSim},
+		"bsim":      {bsim, KindBSim},
+		"bsim-twin": {renumberPattern(t, bsim, []int{1, 2, 0}), KindBSim},
+		"auto":      {generator.RandomPattern(2, 2, 3, 1, seed+3), KindAuto},
+		"iso":       {generator.RandomPattern(2, 1, 3, 1, seed+4), KindIso},
+	}
+	subs := make(map[string][2]*Subscription)
+	for id, pk := range pats {
+		for i, reg := range []*Registry{netReg, privReg} {
+			if err := reg.Register(id, pk.p.Clone(), pk.kind); err != nil {
+				t.Fatalf("%s on registry %d: %v", id, i, err)
+			}
+			s, err := reg.Subscribe(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pair := subs[id]
+			pair[i] = s
+			subs[id] = pair
+		}
+		if !subs[id][0].Snapshot.Equal(subs[id][1].Snapshot) {
+			t.Fatalf("%s: initial snapshots differ", id)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	for round := 0; round < 30; round++ {
+		ups := generator.Updates(netReg.g, 1+rng.Intn(4), rng.Intn(3), seed+int64(100+round))
+		s1, err := netReg.Apply(ups)
+		if err != nil {
+			t.Fatalf("round %d net apply: %v", round, err)
+		}
+		s2, err := privReg.Apply(ups)
+		if err != nil {
+			t.Fatalf("round %d private apply: %v", round, err)
+		}
+		if s1 != s2 {
+			t.Fatalf("round %d: seqs diverged %d vs %d", round, s1, s2)
+		}
+		for id, pair := range subs {
+			evN, evP := <-pair[0].C, <-pair[1].C
+			if evN.Seq != s1 || evP.Seq != s1 {
+				t.Fatalf("round %d %s: event seqs %d/%d want %d", round, id, evN.Seq, evP.Seq, s1)
+			}
+			if !sameDelta(evN.Delta, evP.Delta) {
+				t.Fatalf("round %d %s: delta mismatch\n net  %+v\n priv %+v", round, id, evN.Delta, evP.Delta)
+			}
+			rN, _ := netReg.Result(id)
+			rP, _ := privReg.Result(id)
+			if !rN.Equal(rP) {
+				t.Fatalf("round %d %s: results diverged", round, id)
+			}
+		}
+	}
+
+	// The networked registry must expose sharing evidence; the private one
+	// must not expose a network block at all.
+	ns := netReg.Stats().Network
+	if ns == nil {
+		t.Fatal("networked registry has no network stats")
+	}
+	if ns.Patterns != 5 { // iso stays outside the network
+		t.Fatalf("want 5 network patterns, got %+v", ns)
+	}
+	if ns.RegisterReused < 2 || ns.JoinNodes > 3 {
+		t.Fatalf("renumbered twins did not share joins: %+v", ns)
+	}
+	if ns.RepairsSaved == 0 {
+		t.Fatalf("no repairs saved over 30 commits: %+v", ns)
+	}
+	if privReg.Stats().Network != nil {
+		t.Fatal("WithoutNetwork registry exposes network stats")
+	}
+}
+
+// TestNetworkFromSeqBackfillEquivalence: a FromSeq resume backfills deltas
+// through a private replay engine, so its events must reproduce exactly
+// what the network-backed live feed delivered for the same commits.
+func TestNetworkFromSeqBackfillEquivalence(t *testing.T) {
+	seed := int64(47)
+	g := generator.RandomGraph(40, 100, 3, seed)
+	reg := New(g, WithJournal(journal.New()))
+	defer reg.Close()
+
+	sim := generator.RandomPattern(3, 3, 3, 1, seed+1)
+	bsim := generator.RandomPattern(3, 2, 3, 3, seed+2)
+	for id, pk := range map[string]struct {
+		p    *pattern.Pattern
+		kind Kind
+	}{"sim": {sim, KindSim}, "sim-twin": {renumberPattern(t, sim, []int{1, 2, 0}), KindSim}, "bsim": {bsim, KindBSim}} {
+		if err := reg.Register(id, pk.p, pk.kind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := make(map[string]*Subscription)
+	for id := range map[string]bool{"sim": true, "sim-twin": true, "bsim": true} {
+		s, err := reg.Subscribe(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live[id] = s
+	}
+
+	const commits = 12
+	liveEvents := make(map[string][]Event)
+	for i := 0; i < commits; i++ {
+		ups := generator.Updates(reg.g, 2, 1, seed+int64(10+i))
+		if _, err := reg.Apply(ups); err != nil {
+			t.Fatal(err)
+		}
+		for id, s := range live {
+			liveEvents[id] = append(liveEvents[id], <-s.C)
+		}
+	}
+
+	for id, evs := range liveEvents {
+		from := uint64(commits / 3)
+		s, err := reg.Subscribe(id, FromSeq(from))
+		if err != nil {
+			t.Fatalf("%s FromSeq(%d): %v", id, from, err)
+		}
+		for _, want := range evs[from:] {
+			got := <-s.C
+			if got.Seq != want.Seq || !sameDelta(got.Delta, want.Delta) {
+				t.Fatalf("%s: backfilled seq %d diverged from live feed\n got  %+v\n want %+v",
+					id, want.Seq, got, want)
+			}
+		}
+		s.Cancel()
+	}
+}
+
+// TestNetworkSublinearity is the headline sharing property: registering
+// 100 structurally-overlapping patterns collapses to a handful of shared
+// join nodes, and each commit repairs those joins once instead of 100
+// private engines.
+func TestNetworkSublinearity(t *testing.T) {
+	seed := int64(53)
+	g := generator.RandomGraph(60, 150, 3, seed)
+	reg := New(g)
+	defer reg.Close()
+
+	// 5 structural families × 20 renumberings each = 100 patterns.
+	const families, perFamily = 5, 20
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]string, 0, families*perFamily)
+	for f := 0; f < families; f++ {
+		base := generator.RandomPattern(4, 4, 3, 1, seed+int64(f))
+		for k := 0; k < perFamily; k++ {
+			perm := rng.Perm(base.NumNodes())
+			id := string(rune('a'+f)) + "-" + string(rune('0'+k/10)) + string(rune('0'+k%10))
+			if err := reg.Register(id, renumberPattern(t, base, perm), KindSim); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	ns := reg.Stats().Network
+	if ns == nil || ns.Patterns != families*perFamily {
+		t.Fatalf("want %d network patterns, got %+v", families*perFamily, ns)
+	}
+	if ns.JoinNodes > families {
+		t.Fatalf("100 overlapping patterns need ≤%d joins, got %+v", families, ns)
+	}
+	if ns.RegisterReused < families*(perFamily-1) {
+		t.Fatalf("want ≥%d reused registrations, got %+v", families*(perFamily-1), ns)
+	}
+
+	const commits = 10
+	for i := 0; i < commits; i++ {
+		ups := generator.Updates(reg.g, 3, 1, seed+int64(100+i))
+		if _, err := reg.Apply(ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns = reg.Stats().Network
+	// Each commit repairs at most one join per family instead of 100
+	// engines, so ≥95 of every 100 per-pattern repairs are saved.
+	if ns.JoinRepairs > int64(commits*families) {
+		t.Fatalf("joins repaired more often than once per family per commit: %+v", ns)
+	}
+	minSaved := int64(commits * (families*perFamily - families))
+	if ns.RepairsSaved < minSaved {
+		t.Fatalf("want ≥%d repairs saved over %d commits, got %+v", minSaved, commits, ns)
+	}
+
+	// Unregistering everything tears the shared state down.
+	for _, id := range ids {
+		if !reg.Unregister(id) {
+			t.Fatalf("unregister %s failed", id)
+		}
+	}
+	ns = reg.Stats().Network
+	if ns.Patterns != 0 || ns.JoinNodes != 0 || ns.EdgeNodes != 0 || ns.PredNodes != 0 {
+		t.Fatalf("network not empty after unregistering all: %+v", ns)
+	}
+}

@@ -261,6 +261,12 @@ func (r *Registry) recoverPattern(id, kind string, def []byte, regSeq uint64) er
 func (r *Registry) replayCommit(seq uint64, ups []graph.Update) error {
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
+	// The shared evaluation network repairs once per replayed commit, just
+	// like the live path; network-backed matchers below then read their
+	// cached deltas (and panic, hence evict, if their shared join broke).
+	if r.net != nil && len(ups) > 0 {
+		r.net.Apply(ups)
+	}
 	regs := r.snapshotRegs()
 	repairErr := make([]error, len(regs))
 	if len(ups) > 0 {

@@ -36,6 +36,8 @@ func TestRegistrySharesCanonicalStorage(t *testing.T) {
 			base = m.eng.SharedBase()
 		case *isoMatcher:
 			base = m.eng.SharedBase()
+		case netMatcher:
+			base = reg.net.Base()
 		default:
 			t.Fatalf("%s: unknown matcher type %T", id, r.m)
 		}

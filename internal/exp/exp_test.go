@@ -19,7 +19,8 @@ func TestEveryDriverProducesRows(t *testing.T) {
 		"Fig19a": Fig19a, "Fig19b": Fig19b, "Fig19c": Fig19c, "Fig19d": Fig19d,
 		"Fig20a": Fig20a, "Fig20b": Fig20b, "Fig20c": Fig20c, "Fig20d": Fig20d,
 		"Fig20e": Fig20e, "Fig20f": Fig20f,
-		"Table1": Table1Witnesses,
+		"FigNet1": FigNet1,
+		"Table1":  Table1Witnesses,
 	}
 	for name, fn := range drivers {
 		tab := fn(cfg)
@@ -65,6 +66,30 @@ func TestMinDeltaReductionMonotone(t *testing.T) {
 		if relevant > orig {
 			t.Errorf("α=%s: relevant %d exceeds original %d", row[0], relevant, orig)
 		}
+	}
+}
+
+func TestNetworkFigureShape(t *testing.T) {
+	tab := FigNet1(tiny())
+	prevSaved := -1
+	for _, row := range tab.Rows {
+		var joins, saved int
+		if _, err := fmt.Sscan(row[5], &joins); err != nil {
+			t.Fatalf("bad joins %q", row[5])
+		}
+		if _, err := fmt.Sscan(row[6], &saved); err != nil {
+			t.Fatalf("bad repairs saved %q", row[6])
+		}
+		// Renumbered patterns collapse onto their family's join, so the
+		// join count is bounded by the family count regardless of N...
+		if joins > 5 {
+			t.Errorf("%s patterns: %d joins exceed the 5 families", row[0], joins)
+		}
+		// ...and the saved-repair count grows with the pattern count.
+		if saved <= prevSaved {
+			t.Errorf("%s patterns: repairs saved %d did not grow (prev %d)", row[0], saved, prevSaved)
+		}
+		prevSaved = saved
 	}
 }
 

@@ -1,0 +1,327 @@
+package gdn
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpm/internal/generator"
+	"gpm/internal/graph"
+	"gpm/internal/incbsim"
+	"gpm/internal/incsim"
+	"gpm/internal/pattern"
+	"gpm/internal/rel"
+)
+
+// randomUpdates builds a mixed batch of inserts and deletes over g's nodes,
+// biased toward deleting existing edges so both repair paths exercise.
+func randomUpdates(g *graph.Graph, k int, rng *rand.Rand) []graph.Update {
+	n := g.NumNodes()
+	ups := make([]graph.Update, 0, k)
+	for i := 0; i < k; i++ {
+		if rng.Intn(2) == 0 && g.NumEdges() > 0 {
+			var es [][2]graph.NodeID
+			g.Edges(func(u, v graph.NodeID) bool {
+				es = append(es, [2]graph.NodeID{u, v})
+				return true
+			})
+			e := es[rng.Intn(len(es))]
+			ups = append(ups, graph.Delete(e[0], e[1]))
+		} else {
+			ups = append(ups, graph.Insert(rng.Intn(n), rng.Intn(n)))
+		}
+	}
+	return ups
+}
+
+func deltasEqual(a, b rel.Delta) bool {
+	a.Sort()
+	b.Sort()
+	if len(a.Removed) != len(b.Removed) || len(a.Added) != len(b.Added) {
+		return false
+	}
+	for i := range a.Removed {
+		if a.Removed[i] != b.Removed[i] {
+			return false
+		}
+	}
+	for i := range a.Added {
+		if a.Added[i] != b.Added[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// renumber relabels p by the permutation m (m[orig] = new id).
+func renumber(p *pattern.Pattern, m []int) *pattern.Pattern {
+	inv := make([]int, len(m))
+	for u, c := range m {
+		inv[c] = u
+	}
+	q := pattern.New()
+	for c := range inv {
+		q.AddNode(p.Pred(inv[c]))
+	}
+	for _, e := range p.Edges() {
+		if err := q.AddColoredEdge(m[e.From], m[e.To], e.Bound, e.Color); err != nil {
+			panic(err)
+		}
+	}
+	return q
+}
+
+// TestEquivalenceAgainstPrivateEngines is the network's core correctness
+// property: for every registered pattern, the handle's Result and
+// per-commit Delta are identical to a private one-engine-per-pattern
+// layout fed the same effective update stream.
+func TestEquivalenceAgainstPrivateEngines(t *testing.T) {
+	for _, kind := range []string{KindSim, KindBSim} {
+		t.Run(kind, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			g := generator.RandomGraph(60, 150, 3, 7)
+			net := New(g, 1)
+
+			type pat struct {
+				p      *pattern.Pattern
+				h      *Handle
+				sim    *incsim.Engine
+				bsim   *incbsim.Engine
+				labelD rel.Delta
+			}
+			var pats []pat
+			addPat := func(p *pattern.Pattern) {
+				h, err := net.Register(kind, p)
+				if err != nil {
+					t.Fatalf("Register: %v", err)
+				}
+				pp := pat{p: p, h: h}
+				if kind == KindSim {
+					pp.sim, err = incsim.NewShared(p, g)
+				} else {
+					pp.bsim, err = incbsim.NewShared(p, g)
+				}
+				if err != nil {
+					t.Fatalf("private engine: %v", err)
+				}
+				pats = append(pats, pp)
+			}
+
+			maxBound := 1
+			if kind == KindBSim {
+				maxBound = 3
+			}
+			base := generator.RandomPattern(3, 3, 3, maxBound, 21)
+			addPat(base)
+			addPat(renumber(base, []int{2, 0, 1})) // renumbered twin: shares the join
+			addPat(generator.RandomPattern(2, 2, 3, maxBound, 22))
+			addPat(generator.RandomPattern(4, 4, 3, maxBound, 23))
+			single := pattern.New() // zero-edge pattern: joins always skip
+			single.AddNode(pattern.Label("a"))
+			addPat(single)
+
+			if s := net.Stats(); s.JoinNodes >= s.Patterns {
+				t.Fatalf("renumbered twin did not share its join: %+v", s)
+			}
+
+			for round := 0; round < 25; round++ {
+				effective := graph.NetUpdates(g, randomUpdates(g, 1+rng.Intn(6), rng))
+				if len(effective) == 0 {
+					continue
+				}
+				net.Apply(effective)
+				for i := range pats {
+					var want rel.Delta
+					if pats[i].sim != nil {
+						_, want = pats[i].sim.BatchDelta(effective)
+					} else {
+						want = pats[i].bsim.BatchDelta(effective)
+					}
+					got := pats[i].h.Delta()
+					if !deltasEqual(got, want) {
+						t.Fatalf("round %d pattern %d: delta mismatch\n got  %+v\n want %+v", round, i, got, want)
+					}
+				}
+				if _, err := g.ApplyAll(effective); err != nil {
+					t.Fatal(err)
+				}
+				for i := range pats {
+					var want rel.Relation
+					if pats[i].sim != nil {
+						want = pats[i].sim.Result()
+					} else {
+						want = pats[i].bsim.Result()
+					}
+					if got := pats[i].h.Result(); !got.Equal(want) {
+						t.Fatalf("round %d pattern %d: result mismatch\n got  %v\n want %v", round, i, got, want)
+					}
+				}
+			}
+			s := net.Stats()
+			if s.RepairsSaved == 0 {
+				t.Fatalf("no repairs saved over 25 commits with a shared join + zero-edge pattern: %+v", s)
+			}
+			for i := range pats {
+				pats[i].h.Release()
+			}
+			if s := net.Stats(); s.Patterns != 0 || s.JoinNodes != 0 || s.EdgeNodes != 0 || s.PredNodes != 0 {
+				t.Fatalf("release did not tear the network down: %+v", s)
+			}
+		})
+	}
+}
+
+func TestSharingAndRefcounts(t *testing.T) {
+	g := generator.RandomGraph(30, 60, 2, 3)
+	net := New(g, 1)
+	// a->b and its renumbered twin share everything; b->a shares the
+	// predicate leaves but needs its own edge node and join.
+	ab := pattern.New()
+	ab.AddNode(pattern.Label("a"))
+	ab.AddNode(pattern.Label("b"))
+	if err := ab.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	ba := pattern.New()
+	ba.AddNode(pattern.Label("b"))
+	ba.AddNode(pattern.Label("a"))
+	if err := ba.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	h1, err := net.Register(KindSim, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := net.Register(KindSim, renumber(ab, []int{1, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := net.Register(KindSim, ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.Stats()
+	if s.PredNodes != 2 || s.EdgeNodes != 2 || s.JoinNodes != 2 || s.Patterns != 3 {
+		t.Fatalf("unexpected shape: %+v", s)
+	}
+	if s.RegisterReused != 1 {
+		t.Fatalf("want 1 reused register, got %d", s.RegisterReused)
+	}
+
+	h2.Release()
+	h2.Release() // double release is a no-op
+	if s := net.Stats(); s.JoinNodes != 2 || s.Patterns != 2 {
+		t.Fatalf("after twin release: %+v", s)
+	}
+	h1.Release()
+	if s := net.Stats(); s.JoinNodes != 1 || s.EdgeNodes != 1 || s.PredNodes != 2 {
+		t.Fatalf("after ab release: %+v", s)
+	}
+	h3.Release()
+	if s := net.Stats(); s.JoinNodes != 0 || s.EdgeNodes != 0 || s.PredNodes != 0 || s.Patterns != 0 {
+		t.Fatalf("network not empty: %+v", s)
+	}
+}
+
+func TestRelevanceSkip(t *testing.T) {
+	// Graph with labels a..c; the pattern only involves a and b, so updates
+	// between c-labeled nodes must be skipped without any join repair.
+	g := graph.New()
+	var a, b, c []int
+	for i := 0; i < 12; i++ {
+		lbl := string(rune('a' + i%3))
+		id := g.AddNode(graph.Tuple{"label": graph.String(lbl)})
+		switch i % 3 {
+		case 0:
+			a = append(a, id)
+		case 1:
+			b = append(b, id)
+		default:
+			c = append(c, id)
+		}
+	}
+	p := pattern.New()
+	p.AddNode(pattern.Label("a"))
+	p.AddNode(pattern.Label("b"))
+	if err := p.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	net := New(g, 1)
+	h, err := net.Register(KindSim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Irrelevant commit: c->c edges only.
+	ups := []graph.Update{graph.Insert(c[0], c[1]), graph.Insert(c[1], c[2])}
+	net.Apply(ups)
+	if d := h.Delta(); !d.Empty() {
+		t.Fatalf("irrelevant commit moved the match: %+v", d)
+	}
+	if _, err := g.ApplyAll(ups); err != nil {
+		t.Fatal(err)
+	}
+	s := net.Stats()
+	if s.JoinRepairs != 0 || s.EdgeRepairs != 0 {
+		t.Fatalf("irrelevant commit repaired nodes: %+v", s)
+	}
+	if s.RepairsSaved != 1 {
+		t.Fatalf("want 1 repair saved, got %+v", s)
+	}
+
+	// Relevant commit: an a->b edge appears; the join must repair and the
+	// delta must show the new match.
+	ups = []graph.Update{graph.Insert(a[0], b[0])}
+	net.Apply(ups)
+	d := h.Delta()
+	if len(d.Added) == 0 {
+		t.Fatalf("relevant insert produced no delta")
+	}
+	if _, err := g.ApplyAll(ups); err != nil {
+		t.Fatal(err)
+	}
+	if s := net.Stats(); s.JoinRepairs != 1 || s.EdgeRepairs != 1 {
+		t.Fatalf("relevant commit should repair 1 edge node + 1 join: %+v", s)
+	}
+
+	// Deleting an edge no current match touches is also skipped — the
+	// deletion filter reads the edge node's match state, not just sat.
+	ups = []graph.Update{graph.Delete(c[0], c[1])}
+	net.Apply(ups)
+	if d := h.Delta(); !d.Empty() {
+		t.Fatalf("irrelevant delete moved the match: %+v", d)
+	}
+	if _, err := g.ApplyAll(ups); err != nil {
+		t.Fatal(err)
+	}
+	if s := net.Stats(); s.JoinRepairs != 1 {
+		t.Fatalf("irrelevant delete repaired the join: %+v", s)
+	}
+}
+
+func TestRegisterRejectsBadKinds(t *testing.T) {
+	g := generator.RandomGraph(10, 20, 2, 3)
+	net := New(g, 1)
+	bounded := pattern.New()
+	bounded.AddNode(pattern.Label("a"))
+	bounded.AddNode(pattern.Label("b"))
+	if err := bounded.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Register(KindSim, bounded); err == nil {
+		t.Fatal("sim accepted a non-normal pattern")
+	}
+	if _, err := net.Register("iso", bounded); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// A failed registration must leave nothing acquired behind.
+	if s := net.Stats(); s.PredNodes != 0 || s.EdgeNodes != 0 || s.JoinNodes != 0 || s.Patterns != 0 {
+		t.Fatalf("failed register leaked nodes: %+v", s)
+	}
+	// The same pattern registers fine as bsim.
+	h, err := net.Register(KindBSim, bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+}

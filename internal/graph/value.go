@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Kind discriminates the dynamic type of an attribute Value.
@@ -40,9 +41,14 @@ func Int(i int64) Value { return Value{kind: KindInt, num: i} }
 func Float(f float64) Value { return Value{kind: KindFloat, flt: f} }
 
 // ParseValue interprets s as an int, then a float, then a string. Quoted
-// strings ("...") always parse as strings with the quotes stripped.
+// strings ("...") always parse as strings: Go escape sequences (\", \\,
+// \n, ...) are decoded, and a quoted token that is not a valid Go string
+// literal falls back to stripping the outer quotes verbatim.
 func ParseValue(s string) Value {
 	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		if u, err := strconv.Unquote(s); err == nil {
+			return String(u)
+		}
 		return String(s[1 : len(s)-1])
 	}
 	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
@@ -83,21 +89,39 @@ func (v Value) String() string {
 }
 
 // Quote renders v so that ParseValue round-trips it, kind included: strings
-// are quoted, and whole-number floats keep a decimal point so they do not
-// read back as ints.
+// are quoted (with Go escaping when they hold quotes, backslashes, control
+// characters or invalid UTF-8, so the quoted form scans unambiguously and
+// decodes back to the same bytes), and
+// whole-number floats keep a decimal point so they do not read back as
+// ints. Non-finite floats (NaN, ±Inf) print bare — ParseFloat reads them
+// back as floats.
 func (v Value) Quote() string {
 	switch v.kind {
 	case KindString:
+		if strings.ContainsAny(v.str, "\"\\") || HasControl(v.str) || !utf8.ValidString(v.str) {
+			return strconv.Quote(v.str)
+		}
 		return `"` + v.str + `"`
 	case KindFloat:
 		s := v.String()
-		if !strings.ContainsAny(s, ".eE") {
+		if _, err := strconv.ParseInt(s, 10, 64); err == nil {
 			s += ".0"
 		}
 		return s
 	default:
 		return v.String()
 	}
+}
+
+// HasControl reports whether s contains a control character (below 0x20, or
+// DEL) — the characters that would break the line-based text formats.
+func HasControl(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == 0x7f {
+			return true
+		}
+	}
+	return false
 }
 
 // Compare returns -1, 0 or +1 ordering v against w, and ok=false when the two

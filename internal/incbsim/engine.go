@@ -80,6 +80,7 @@ type Engine struct {
 
 	workers int             // parallelism of the insert/delete repair sweeps (0 = default)
 	parBFS  []*distance.BFS // per-worker BFS oracles for parallel sweeps
+	presat  rel.Relation    // injected sat sets (WithSat), nil to scan the graph
 
 	// Per-write change-set: armed by beginChanges, recorded by cascade and
 	// promote, converted to a user-visible ΔM by endChanges. Nil outside a
@@ -110,6 +111,16 @@ func WithLandmarkIndex(ix *landmark.Index) Option {
 // repair serial.
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
+}
+
+// WithSat injects precomputed satisfaction sets instead of scanning the
+// graph at build time: sat[u] must equal {v : fV(u) holds on v's attributes}
+// over the engine's graph, with len(sat) == the pattern's node count. The
+// engine reads the given sets but never mutates them, so one sat relation
+// may be shared across many engines — the shared evaluation network injects
+// each predicate node's set into every engine that uses the predicate.
+func WithSat(sat rel.Relation) Option {
+	return func(e *Engine) { e.presat = sat }
 }
 
 // workerOracles returns w BFS oracles over the engine's graph, one per
@@ -165,12 +176,19 @@ func build(p *pattern.Pattern, g graph.Mutable, own *graph.Graph, ov *graph.Over
 		e.outEdges[pe.From] = append(e.outEdges[pe.From], i)
 		e.inEdges[pe.To] = append(e.inEdges[pe.To], i)
 	}
-	e.sat = rel.NewRelation(np)
-	for u := 0; u < np; u++ {
-		pred := p.Pred(u)
-		for v := 0; v < g.NumNodes(); v++ {
-			if pred.Eval(g.Attrs(v)) {
-				e.sat[u].Add(v)
+	if e.presat != nil {
+		if len(e.presat) != np {
+			return nil, fmt.Errorf("incbsim: WithSat: %d sets for %d pattern nodes", len(e.presat), np)
+		}
+		e.sat = e.presat
+	} else {
+		e.sat = rel.NewRelation(np)
+		for u := 0; u < np; u++ {
+			pred := p.Pred(u)
+			for v := 0; v < g.NumNodes(); v++ {
+				if pred.Eval(g.Attrs(v)) {
+					e.sat[u].Add(v)
+				}
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"gpm/internal/graph"
 )
@@ -145,14 +146,17 @@ func Parse(r io.Reader) (*Pattern, error) {
 }
 
 // ParsePredicate parses a conjunction "attr op value && attr op value ...".
-// The empty string and "true" both denote the wildcard predicate.
+// The empty string and "true" both denote the wildcard predicate. The
+// conjunction splitter and the operator scan are quote-aware: "&&" and
+// comparison operators inside a quoted string value are literal content,
+// so values like "a && b" or "x<y" round-trip through Predicate.String.
 func ParsePredicate(s string) (Predicate, error) {
 	s = strings.TrimSpace(s)
 	if s == "" || s == "true" {
 		return nil, nil
 	}
 	var pred Predicate
-	for _, part := range strings.Split(s, "&&") {
+	for _, part := range splitConjuncts(s) {
 		atom, err := parseAtom(strings.TrimSpace(part))
 		if err != nil {
 			return nil, err
@@ -162,15 +166,61 @@ func ParsePredicate(s string) (Predicate, error) {
 	return pred, nil
 }
 
+// quoteSpan returns the index just past the quoted region opening at s[i]
+// (s[i] must be '"'), honoring backslash escapes. An unterminated quote is
+// not a region: the opening quote is a literal character and the span is
+// i+1.
+func quoteSpan(s string, i int) int {
+	for j := i + 1; j < len(s); j++ {
+		switch s[j] {
+		case '\\':
+			j++
+		case '"':
+			return j + 1
+		}
+	}
+	return i + 1
+}
+
+// splitConjuncts splits on "&&" occurring outside quoted string values.
+func splitConjuncts(s string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(s); {
+		switch {
+		case s[i] == '"':
+			i = quoteSpan(s, i)
+		case strings.HasPrefix(s[i:], "&&"):
+			parts = append(parts, s[start:i])
+			i += 2
+			start = i
+		default:
+			i++
+		}
+	}
+	return append(parts, s[start:])
+}
+
 func parseAtom(s string) (Atom, error) {
-	// Scan for the operator; two-character operators first so "<=" does not
-	// parse as "<" followed by "=".
-	for _, opStr := range []string{"<=", ">=", "!=", "<", ">", "="} {
-		if i := strings.Index(s, opStr); i > 0 {
+	// Scan left to right for the first comparison operator outside quotes,
+	// longest operator first at each position so "<=" does not parse as "<"
+	// followed by "=".
+	for i := 0; i < len(s); {
+		if s[i] == '"' {
+			i = quoteSpan(s, i)
+			continue
+		}
+		for _, opStr := range []string{"<=", ">=", "!=", "<", ">", "="} {
+			if !strings.HasPrefix(s[i:], opStr) || i == 0 {
+				continue
+			}
 			attr := strings.TrimSpace(s[:i])
 			valStr := strings.TrimSpace(s[i+len(opStr):])
 			if attr == "" || valStr == "" {
 				return Atom{}, fmt.Errorf("bad atom %q", s)
+			}
+			if strings.ContainsRune(attr, '"') || graph.HasControl(attr) || !utf8.ValidString(attr) {
+				return Atom{}, fmt.Errorf("bad atom %q: attribute name contains a quote, control character or invalid UTF-8", s)
 			}
 			op, err := ParseOp(opStr)
 			if err != nil {
@@ -178,6 +228,7 @@ func parseAtom(s string) (Atom, error) {
 			}
 			return Atom{Attr: attr, Op: op, Val: graph.ParseValue(valStr)}, nil
 		}
+		i++
 	}
 	return Atom{}, fmt.Errorf("bad atom %q: no comparison operator", s)
 }

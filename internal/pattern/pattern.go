@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"gpm/internal/graph"
 )
@@ -84,8 +85,14 @@ func (p *Pattern) AddEdge(u, v NodeID, bound int) error {
 }
 
 // AddColoredEdge inserts a pattern edge whose image paths must consist of
-// data edges labeled color throughout. An empty color is a plain edge.
+// data edges labeled color throughout. An empty color is a plain edge. A
+// color may not contain whitespace or control characters — the text format
+// writes it as one whitespace-separated field, so such a color could never
+// round-trip.
 func (p *Pattern) AddColoredEdge(u, v NodeID, bound int, color string) error {
+	if strings.ContainsAny(color, " \t") || graph.HasControl(color) || !utf8.ValidString(color) {
+		return fmt.Errorf("pattern: AddColoredEdge(%d, %d): color %q contains whitespace, control characters or invalid UTF-8", u, v, color)
+	}
 	if err := p.AddEdge(u, v, bound); err != nil {
 		return err
 	}

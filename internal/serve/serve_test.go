@@ -383,4 +383,64 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsNetworkBlock: GET /stats exposes the shared evaluation
+// network's counters, and registering a structurally identical pattern
+// under a second id shows up as a reused join rather than a new engine.
+func TestStatsNetworkBlock(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	client := ts.Client()
+
+	g, gtext := testGraphText(t, 9)
+	if code, _ := do(t, client, "POST", ts.URL+"/graph", gtext); code != http.StatusOK {
+		t.Fatal("load graph failed")
+	}
+	ptext := testPatternText(t, g, 1, 9)
+	if code, _ := do(t, client, "PUT", ts.URL+"/patterns/q?kind=sim", ptext); code != http.StatusCreated {
+		t.Fatal("register q failed")
+	}
+	_, stats := do(t, client, "GET", ts.URL+"/stats", "")
+	net, ok := stats["network"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing network block: %v", stats)
+	}
+	if int(net["patterns"].(float64)) != 1 || int(net["join_nodes"].(float64)) != 1 {
+		t.Fatalf("network stats after one pattern: %v", net)
+	}
+
+	// The same definition under a new id reuses the shared join outright.
+	if code, _ := do(t, client, "PUT", ts.URL+"/patterns/q2?kind=sim", ptext); code != http.StatusCreated {
+		t.Fatal("register q2 failed")
+	}
+	_, stats = do(t, client, "GET", ts.URL+"/stats", "")
+	net = stats["network"].(map[string]any)
+	if int(net["patterns"].(float64)) != 2 || int(net["join_nodes"].(float64)) != 1 {
+		t.Fatalf("twin registration did not share the join: %v", net)
+	}
+	if int(net["register_reused"].(float64)) != 1 {
+		t.Fatalf("want register_reused=1: %v", net)
+	}
+
+	// A committed update repairs the shared join once for both patterns.
+	var u, v graph.NodeID = -1, -1
+	for a := 0; a < g.NumNodes() && u < 0; a++ {
+		for b := 0; b < g.NumNodes(); b++ {
+			if a != b && !g.HasEdge(a, b) {
+				u, v = a, b
+				break
+			}
+		}
+	}
+	if code, _ := do(t, client, "POST", ts.URL+"/updates", "insert "+itoa(u)+" "+itoa(v)+"\n"); code != http.StatusOK {
+		t.Fatal("updates failed")
+	}
+	_, stats = do(t, client, "GET", ts.URL+"/stats", "")
+	net = stats["network"].(map[string]any)
+	if int(net["repairs_saved"].(float64)) < 1 {
+		t.Fatalf("shared join repair saved nothing: %v", net)
+	}
+}
+
 func itoa(n int) string { return strconv.Itoa(n) }
