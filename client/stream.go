@@ -75,8 +75,81 @@ type Stream struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu  sync.Mutex
-	err error
+	mu    sync.Mutex
+	err   error
+	stats StreamStats
+}
+
+// StreamStats is a point-in-time view of the stream's reconnect machinery
+// — how hard the stream is working to stay connected, invisible on C by
+// design. Read it via Stats.
+type StreamStats struct {
+	// Attempts counts connection attempts, including the initial connect
+	// and every reconnect try; Connects counts the ones that reached an
+	// open SSE stream.
+	Attempts uint64 `json:"attempts"`
+	Connects uint64 `json:"connects"`
+	// Disconnects counts open connections that later dropped (server
+	// restart, network). Attempts - Connects is the failed-try count.
+	Disconnects uint64 `json:"disconnects"`
+	// EventsDelivered counts events delivered on C (after dedup);
+	// LastSeq is the newest delivered sequence.
+	EventsDelivered uint64 `json:"events_delivered"`
+	LastSeq         uint64 `json:"last_seq"`
+	// Connected reports whether an SSE connection is open right now.
+	Connected bool `json:"connected"`
+	// CurrentBackoff is the delay before the next reconnect attempt while
+	// disconnected (the floor once a connection delivers again).
+	CurrentBackoff time.Duration `json:"current_backoff"`
+	// LastDisconnect is the cause of the most recent drop or failed
+	// attempt ("" while none has happened); LastDisconnectAt stamps it.
+	LastDisconnect   string    `json:"last_disconnect,omitempty"`
+	LastDisconnectAt time.Time `json:"last_disconnect_at,omitzero"`
+}
+
+// Stats returns a snapshot of the stream's reconnect/delivery counters.
+// Safe to call concurrently with delivery, before and after C closes.
+func (s *Stream) Stats() StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Stream) recordAttempt() {
+	s.mu.Lock()
+	s.stats.Attempts++
+	s.mu.Unlock()
+}
+
+func (s *Stream) recordConnect() {
+	s.mu.Lock()
+	s.stats.Connects++
+	s.stats.Connected = true
+	s.mu.Unlock()
+}
+
+func (s *Stream) recordDisconnect(wasOpen bool, cause string) {
+	s.mu.Lock()
+	if wasOpen {
+		s.stats.Disconnects++
+	}
+	s.stats.Connected = false
+	s.stats.LastDisconnect = cause
+	s.stats.LastDisconnectAt = time.Now()
+	s.mu.Unlock()
+}
+
+func (s *Stream) recordEvent(seq uint64) {
+	s.mu.Lock()
+	s.stats.EventsDelivered++
+	s.stats.LastSeq = seq
+	s.mu.Unlock()
+}
+
+func (s *Stream) recordBackoff(d time.Duration) {
+	s.mu.Lock()
+	s.stats.CurrentBackoff = d
+	s.mu.Unlock()
 }
 
 // Close tears the stream down: the connection drops, the goroutine
@@ -120,9 +193,11 @@ func (c *Client) Stream(ctx context.Context, id string, options ...StreamOption)
 	cs := &streamConn{
 		c:       c,
 		id:      id,
+		st:      st,
 		lastSeq: o.fromSeq,
 		haveSeq: o.hasFrom,
 	}
+	st.stats.CurrentBackoff = c.backoffMin
 	// Synchronous first connect: fail fast on anything that backoff-and-
 	// retry cannot fix.
 	resp, err := cs.connect(sctx)
@@ -143,8 +218,9 @@ func (c *Client) Stream(ctx context.Context, id string, options ...StreamOption)
 type streamConn struct {
 	c       *Client
 	id      string
-	lastSeq uint64 // newest delivered (or resumed-from) sequence
-	haveSeq bool   // lastSeq is meaningful: resume instead of snapshotting
+	st      *Stream // owner, for the Stats counters
+	lastSeq uint64  // newest delivered (or resumed-from) sequence
+	haveSeq bool    // lastSeq is meaningful: resume instead of snapshotting
 }
 
 // retryable reports whether an error is worth a backoff-and-reconnect:
@@ -164,6 +240,7 @@ func (cs *streamConn) retryable(err error) bool {
 // connect opens one SSE request, resuming via Last-Event-ID when a
 // sequence is held.
 func (cs *streamConn) connect(ctx context.Context) (*http.Response, error) {
+	cs.st.recordAttempt()
 	u := cs.c.base + "/v1/patterns/" + url.PathEscape(cs.id) + "/stream"
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -175,12 +252,16 @@ func (cs *streamConn) connect(ctx context.Context) (*http.Response, error) {
 	}
 	resp, err := cs.c.hc.Do(req)
 	if err != nil {
+		cs.st.recordDisconnect(false, err.Error())
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		defer resp.Body.Close()
-		return nil, apiError(resp)
+		err := apiError(resp)
+		cs.st.recordDisconnect(false, err.Error())
+		return nil, err
 	}
+	cs.st.recordConnect()
 	return resp, nil
 }
 
@@ -212,6 +293,7 @@ func (cs *streamConn) run(ctx context.Context, st *Stream, ch chan<- MatchEvent,
 				if backoff *= 2; backoff > cs.c.backoffMax {
 					backoff = cs.c.backoffMax
 				}
+				st.recordBackoff(backoff)
 				continue
 			}
 		}
@@ -224,9 +306,11 @@ func (cs *streamConn) run(ctx context.Context, st *Stream, ch chan<- MatchEvent,
 		if err != nil {
 			// consume only errors on protocol violations (unparseable
 			// frames); reconnecting would hit the same wire. Terminal.
+			st.recordDisconnect(true, err.Error())
 			st.setErr(err)
 			return
 		}
+		st.recordDisconnect(true, "connection dropped")
 		// The connection dropped (server restart, network): reconnect,
 		// resuming after the last delivered sequence. A connection that
 		// delivered something resets the backoff.
@@ -235,6 +319,7 @@ func (cs *streamConn) run(ctx context.Context, st *Stream, ch chan<- MatchEvent,
 		} else if backoff *= 2; backoff > cs.c.backoffMax {
 			backoff = cs.c.backoffMax
 		}
+		st.recordBackoff(backoff)
 	}
 }
 
@@ -282,6 +367,10 @@ func (cs *streamConn) consume(ctx context.Context, ch chan<- MatchEvent, resp *h
 			if !ok {
 				continue // duplicate of an already-delivered sequence
 			}
+			// Counted before the handoff so a consumer that just received
+			// the event already sees it in Stats; at most one in-flight
+			// event is over-counted if the stream closes mid-send.
+			cs.st.recordEvent(ev.Seq)
 			select {
 			case ch <- ev:
 				delivered = true

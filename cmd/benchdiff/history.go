@@ -24,6 +24,11 @@ type historyEntry struct {
 	Seed    int64              `json:"seed"`
 	Verdict string             `json:"verdict"` // "ok" or "regression"
 	Figures map[string]float64 `json:"figures"` // figure -> elapsed_ms
+	// Stages records each figure's commit-pipeline breakdown (figure ->
+	// stage -> cumulative ms), when the run's gpbench emitted one — so the
+	// trajectory distinguishes "repair got slower" from "journal fsync got
+	// slower" without rerunning old commits.
+	Stages map[string]map[string]float64 `json:"stages,omitempty"`
 }
 
 // appendHistory appends one entry for the current run.
@@ -41,6 +46,12 @@ func appendHistory(path, commit string, scale float64, seed int64, cur map[strin
 	}
 	for name, r := range cur {
 		entry.Figures[name] = r.ElapsedMS
+		if len(r.CommitStageMS) > 0 {
+			if entry.Stages == nil {
+				entry.Stages = make(map[string]map[string]float64)
+			}
+			entry.Stages[name] = r.CommitStageMS
+		}
 	}
 	line, err := json.Marshal(entry)
 	if err != nil {

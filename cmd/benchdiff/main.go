@@ -93,6 +93,10 @@ type run struct {
 	Scale     float64 `json:"scale"`
 	Seed      int64   `json:"seed"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// CommitStageMS is gpbench's per-stage commit-pipeline breakdown
+	// (validate/network/repair/journal/publish/total, cumulative ms),
+	// absent for figures that never drove a registry.
+	CommitStageMS map[string]float64 `json:"commit_stage_ms,omitempty"`
 }
 
 func readRuns(path string) (map[string]run, error) {

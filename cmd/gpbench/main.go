@@ -23,7 +23,9 @@ import (
 	"strings"
 	"time"
 
+	"gpm/internal/contq"
 	"gpm/internal/exp"
+	"gpm/internal/obs"
 	"gpm/internal/par"
 )
 
@@ -49,6 +51,26 @@ type jsonRun struct {
 	Rows      [][]string `json:"rows"`
 	Notes     []string   `json:"notes,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"`
+	// CommitStageMS breaks the run's registry commit time down by pipeline
+	// stage (validate, network, repair, journal, publish, total),
+	// cumulative milliseconds over the run — present only when the figure
+	// drove the contq registry (batch-engine figures commit nothing).
+	CommitStageMS map[string]float64 `json:"commit_stage_ms,omitempty"`
+}
+
+// stageDelta subtracts per-stage sums captured before a run from the sums
+// after it, dropping stages that saw no time.
+func stageDelta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for k, v := range after {
+		if d := v - before[k]; d > 0 {
+			out[k] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 func main() {
@@ -92,6 +114,10 @@ func main() {
 
 	enc := json.NewEncoder(os.Stdout)
 	for _, name := range names {
+		// Figures drive registries on the process-default obs registry;
+		// diffing the cumulative stage sums around the run attributes
+		// commit-pipeline time to this figure without touching any driver.
+		stagesBefore := contq.CommitStageSums(obs.Default())
 		start := time.Now()
 		t := drivers[name](cfg)
 		elapsed := time.Since(start)
@@ -99,7 +125,8 @@ func main() {
 			run := jsonRun{
 				Figure: name, Title: t.Title, Scale: cfg.Scale, Seed: cfg.Seed,
 				Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
-				ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+				ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+				CommitStageMS: stageDelta(stagesBefore, contq.CommitStageSums(obs.Default())),
 			}
 			if err := enc.Encode(run); err != nil {
 				log.Fatal(err)

@@ -11,6 +11,7 @@
 //	gpserve -addr :8080
 //	gpserve -addr :8080 -graph g.graph
 //	gpserve -addr :8080 -journal /var/lib/gpserve
+//	gpserve -addr :8080 -log-format json -slow-commit 250ms -pprof localhost:6060
 //
 // A session with curl (text bodies; send Content-Type: application/json
 // to use the JSON wire documents instead):
@@ -20,12 +21,22 @@
 //	curl -N localhost:8080/v1/patterns/watch/stream &
 //	curl -X POST --data-binary $'insert 3 7\ndelete 7 3\n' localhost:8080/v1/updates
 //	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/metricz
 //	curl localhost:8080/v1/readyz
 //
 // Failures come back as one JSON envelope {"code", "message", "seq"?}
 // with a stable machine-readable code. GET /v1/healthz (liveness) and
 // GET /v1/readyz (readiness: registry open, journal accepting appends)
 // serve container orchestration and the future follower mode.
+//
+// Observability: logs are structured (log/slog), one line per request with
+// route, status and duration, plus lifecycle events (startup, recovery,
+// shutdown); -log-format selects text or JSON. Commits slower than
+// -slow-commit log a warning carrying the full per-stage breakdown
+// (validate, network, repair, journal, publish — plus the slowest
+// pattern). GET /v1/metricz exposes the same telemetry as Prometheus text
+// for scraping, and -pprof ADDR serves net/http/pprof on a separate
+// listener, kept off the public API surface.
 //
 // With -journal DIR every commit (and pattern registration) is appended
 // to a durable, checksummed log, and on startup gpserve recovers the
@@ -45,8 +56,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,25 +71,72 @@ import (
 	"gpm/internal/serve"
 )
 
+// ms renders a duration as fractional milliseconds for log fields — the
+// same unit the metrics histograms use.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gpserve: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		gfile   = flag.String("graph", "", "optional graph file to load at startup")
-		workers = flag.Int("workers", 0, "fan-out worker goroutines per commit (0 = GOMAXPROCS)")
-		grace   = flag.Duration("grace", 10*time.Second, "graceful-shutdown grace period")
-		jdir    = flag.String("journal", "", "directory for the durable commit journal (empty = in-memory replay ring only)")
-		jsnap   = flag.Uint64("journal-snapshot-every", 1024, "write a recovery snapshot (and compact the journal) every N commits")
-		jring   = flag.Int("journal-ring", 4096, "recent commits kept in memory for hot stream resumes")
-		jseg    = flag.Int64("journal-segment-bytes", 4<<20, "journal segment rotation threshold in bytes")
+		addr      = flag.String("addr", ":8080", "listen address")
+		gfile     = flag.String("graph", "", "optional graph file to load at startup")
+		workers   = flag.Int("workers", 0, "fan-out worker goroutines per commit (0 = GOMAXPROCS)")
+		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown grace period")
+		jdir      = flag.String("journal", "", "directory for the durable commit journal (empty = in-memory replay ring only)")
+		jsnap     = flag.Uint64("journal-snapshot-every", 1024, "write a recovery snapshot (and compact the journal) every N commits")
+		jring     = flag.Int("journal-ring", 4096, "recent commits kept in memory for hot stream resumes")
+		jseg      = flag.Int64("journal-segment-bytes", 4<<20, "journal segment rotation threshold in bytes")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		slow      = flag.Duration("slow-commit", 500*time.Millisecond, "log a warning with the per-stage breakdown for commits slower than this (0 disables)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (separate listener; empty disables)")
 	)
 	flag.Parse()
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		slog.Error("unknown -log-format (want text or json)", "got", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	par.SetDefaultWorkers(*workers)
+
+	regOpts := []contq.Option{contq.WithWorkers(*workers)}
+	if *slow > 0 {
+		threshold := *slow
+		regOpts = append(regOpts, contq.WithCommitObserver(func(ct contq.CommitTiming) {
+			if ct.Total < threshold {
+				return
+			}
+			logger.Warn("slow commit",
+				"seq", ct.Seq,
+				"total_ms", ms(ct.Total),
+				"validate_ms", ms(ct.Validate),
+				"network_ms", ms(ct.Network),
+				"repair_ms", ms(ct.Repair),
+				"journal_ms", ms(ct.Journal),
+				"publish_ms", ms(ct.Publish),
+				"batches", ct.Batches,
+				"updates", ct.Updates,
+				"patterns", ct.Patterns,
+				"slowest_pattern", ct.SlowestPattern,
+				"slowest_repair_ms", ms(ct.SlowestRepair),
+			)
+		}))
+	}
 
 	var srv *serve.Server
 	var jnl *journal.Journal
+	recoverStart := time.Now()
 	if *jdir != "" {
 		var err error
 		jnl, err = journal.Open(*jdir,
@@ -85,21 +144,31 @@ func main() {
 			journal.WithRing(*jring),
 			journal.WithSegmentBytes(*jseg))
 		if err != nil {
-			log.Fatalf("opening journal %s: %v", *jdir, err)
+			fatal("opening journal", "dir", *jdir, "error", err)
 		}
-		srv, err = serve.NewWithJournal(jnl, contq.WithWorkers(*workers))
+		srv, err = serve.NewWithJournal(jnl, regOpts...)
 		if err != nil {
-			log.Fatalf("recovering from journal %s: %v", *jdir, err)
+			fatal("recovering from journal", "dir", *jdir, "error", err)
 		}
 	} else {
-		srv = serve.New(contq.WithWorkers(*workers))
+		srv = serve.New(regOpts...)
 	}
 	nodes, edges, seq := srv.Registry().GraphInfo()
 	npats := len(srv.Registry().Patterns())
 	recovered := seq > 0 || nodes > 0 || npats > 0
 	if jnl != nil && recovered {
-		log.Printf("recovered from %s: %d nodes, %d edges, %d patterns, seq %d",
-			*jdir, nodes, edges, npats, seq)
+		js := jnl.Stats()
+		logger.Info("recovered",
+			"dir", *jdir,
+			"seq", seq,
+			"patterns", npats,
+			"nodes", nodes,
+			"edges", edges,
+			"segments", js.Segments,
+			"journal_bytes", js.Bytes,
+			"snapshot_seq", js.SnapshotSeq,
+			"elapsed_ms", ms(time.Since(recoverStart)),
+		)
 	}
 
 	if *gfile != "" {
@@ -107,28 +176,46 @@ func main() {
 			// The journal already holds a world — even one still at seq 0
 			// (a POSTed graph or registered patterns with no commits yet);
 			// -graph would wipe it.
-			log.Printf("journal has state (seq %d, %d nodes, %d patterns); ignoring -graph %s (POST /graph to replace)",
-				seq, nodes, npats, *gfile)
+			logger.Warn("journal has state; ignoring -graph (POST /graph to replace)",
+				"seq", seq, "nodes", nodes, "patterns", npats, "graph", *gfile)
 		} else {
 			f, err := os.Open(*gfile)
 			if err != nil {
-				log.Fatal(err)
+				fatal("opening graph file", "file", *gfile, "error", err)
 			}
 			g, err := graph.Read(f)
 			f.Close()
 			if err != nil {
-				log.Fatalf("%s: %v", *gfile, err)
+				fatal("parsing graph file", "file", *gfile, "error", err)
 			}
 			if err := srv.LoadGraph(g); err != nil {
-				log.Fatalf("loading %s: %v", *gfile, err)
+				fatal("loading graph", "file", *gfile, "error", err)
 			}
-			log.Printf("loaded %s: %d nodes, %d edges", *gfile, g.NumNodes(), g.NumEdges())
+			logger.Info("graph loaded", "file", *gfile, "nodes", g.NumNodes(), "edges", g.NumEdges())
 		}
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener: profiling endpoints
+		// stay reachable when the main server is saturated and are never
+		// exposed on the public address.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "error", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           serve.AccessLog(srv, logger),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -137,15 +224,15 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr, "journal", *jdir, "log_format", *logFormat)
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err) // listener failed before any signal
+		fatal("listener failed", "error", err) // before any signal
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills the process immediately
-	log.Printf("shutting down (grace %s)", *grace)
+	logger.Info("shutting down", "grace", grace.String())
 
 	// Close the registry first: it waits for any in-flight commit, fsyncs
 	// the journal, then cancels every subscription, which unblocks the SSE
@@ -155,19 +242,19 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("forced shutdown: %v", err)
+		logger.Warn("forced shutdown", "error", err)
 		httpSrv.Close() //nolint:errcheck // already exiting
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("server error", "error", err)
 	}
 	// The journal closes last — after the HTTP server has drained — so no
 	// straggling handler can write past the final fsync (no torn tail).
 	if jnl != nil {
 		if err := jnl.Close(); err != nil {
-			log.Printf("closing journal: %v", err)
+			logger.Warn("closing journal", "error", err)
 		}
-		log.Printf("journal closed at seq %d", jnl.HeadSeq())
+		logger.Info("journal closed", "seq", jnl.HeadSeq())
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }

@@ -57,6 +57,7 @@ import (
 	"gpm/internal/iso"
 	"gpm/internal/journal"
 	"gpm/internal/landmark"
+	"gpm/internal/obs"
 	"gpm/internal/par"
 	"gpm/internal/pattern"
 	"gpm/internal/rel"
@@ -123,6 +124,19 @@ type (
 	// commit sequence, shared-graph size and the writer's coalescing
 	// counters (see Registry.Stats).
 	RegistryStats = contq.Stats
+	// TimingStats is the commit-pipeline telemetry rollup carried on
+	// RegistryStats.Timings: queue wait, per-stage commit latency
+	// (validate/network/repair/journal/publish), coalescing effectiveness
+	// and live subscription gauges, each latency as a HistSnapshot.
+	TimingStats = contq.TimingStats
+	// CommitTiming is one commit's stage-by-stage wall-time breakdown,
+	// delivered synchronously to an observer installed with
+	// WithCommitObserver — the hook behind gpserve's -slow-commit tracing.
+	CommitTiming = contq.CommitTiming
+	// HistSnapshot is a point-in-time latency histogram: count, sum, max,
+	// estimated p50/p95/p99 quantiles and the cumulative buckets they were
+	// read from.
+	HistSnapshot = obs.HistSnapshot
 	// NetworkStats reports the shared sub-pattern evaluation network
 	// behind a registry's sim/bsim patterns: how many shared predicate /
 	// edge / join nodes back the registered patterns, how many
@@ -147,6 +161,9 @@ type (
 	JournalOption = journal.Option
 	// SubscribeOption configures Registry.Subscribe (see FromSeq).
 	SubscribeOption = contq.SubscribeOption
+	// RegistryOption configures NewRegistry / NewRegistryWithJournal (see
+	// WithCommitObserver).
+	RegistryOption = contq.Option
 )
 
 // The engine kinds a standing pattern can be registered under.
@@ -273,7 +290,9 @@ func NewIncBSimEngineWithLandmarks(p *Pattern, g *Graph) (*IncBSimEngine, error)
 // one commit with edge-level insert/delete cancellation; readers and
 // subscribers never block behind it. cmd/gpserve exposes the same
 // subsystem over HTTP.
-func NewRegistry(g *Graph) *Registry { return contq.New(g) }
+func NewRegistry(g *Graph, options ...RegistryOption) *Registry {
+	return contq.New(g, options...)
+}
 
 // NewRegistryWithJournal builds a continuous-query registry whose commit
 // stream is recorded in j: every commit's net ΔG and every pattern
@@ -282,8 +301,16 @@ func NewRegistry(g *Graph) *Registry { return contq.New(g) }
 // and — for durable journals — a crashed process recovers its full state
 // with RecoverRegistry. j must be new or freshly reset; Registry.Close
 // flushes and fsyncs it but leaves closing it to the caller.
-func NewRegistryWithJournal(g *Graph, j *Journal) *Registry {
-	return contq.New(g, contq.WithJournal(j))
+func NewRegistryWithJournal(g *Graph, j *Journal, options ...RegistryOption) *Registry {
+	return contq.New(g, append([]RegistryOption{contq.WithJournal(j)}, options...)...)
+}
+
+// WithCommitObserver installs a per-commit timing hook on a registry: fn
+// receives every commit's CommitTiming (stage wall times, drain size,
+// effective updates) synchronously after publish. Keep fn cheap — it runs
+// on the writer goroutine. gpserve's -slow-commit tracing is this hook.
+func WithCommitObserver(fn func(CommitTiming)) RegistryOption {
+	return contq.WithCommitObserver(fn)
 }
 
 // RecoverRegistry rebuilds a registry from a durable journal: the latest

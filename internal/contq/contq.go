@@ -50,10 +50,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"gpm/internal/gdn"
 	"gpm/internal/graph"
 	"gpm/internal/journal"
+	"gpm/internal/obs"
 	"gpm/internal/par"
 	"gpm/internal/pattern"
 	"gpm/internal/rel"
@@ -102,10 +104,15 @@ const (
 // Event is one commit's outcome for one pattern, delivered to subscribers
 // in commit order. Delta may be empty (the batch did not move this
 // pattern's match); Seq still advances so subscribers can track progress.
+// At is the publish timestamp — delivery layers (SSE) subtract it from
+// their send time to measure how stale an event was when the subscriber
+// received it (zero for backfilled events, which are historical by
+// definition).
 type Event struct {
 	Pattern string
 	Seq     uint64
 	Delta   rel.Delta
+	At      time.Time
 }
 
 // Info describes one registered pattern.
@@ -192,6 +199,15 @@ type Registry struct {
 	queue    []*applyReq
 	draining bool
 
+	// Telemetry: met holds the commit pipeline's instruments (per-stage
+	// histograms, queue-wait, subscription gauges), registered in obsReg —
+	// obs.Default() unless WithMetrics injected one. commitObs, when set,
+	// receives every committed drain's per-stage breakdown (the
+	// slow-commit logging hook).
+	obsReg    *obs.Registry
+	met       *metrics
+	commitObs func(CommitTiming)
+
 	// Resume-clone cache: one immutable graph clone per head sequence,
 	// shared by every FromSeq resume at that head so a reconnect storm
 	// pays a single O(|G|) copy under the writer lock instead of one per
@@ -210,9 +226,12 @@ type Registry struct {
 }
 
 // applyReq is one caller's queued Apply: its batch on the way in, its
-// commit seq or validation error on the way out.
+// commit seq or validation error on the way out. enq stamps the moment the
+// batch entered the coalescing queue, so the commit can report how long
+// callers waited behind the in-flight drain.
 type applyReq struct {
 	ups  []graph.Update
+	enq  time.Time
 	seq  uint64
 	err  error
 	done chan struct{}
@@ -265,6 +284,10 @@ func New(g *graph.Graph, options ...Option) *Registry {
 	for _, o := range options {
 		o(r)
 	}
+	if r.obsReg == nil {
+		r.obsReg = obs.Default()
+	}
+	r.met = newMetrics(r.obsReg)
 	if !r.noNet {
 		r.net = gdn.New(g, r.workers)
 	}
@@ -393,7 +416,7 @@ func (r *Registry) Unregister(id string) bool {
 // event per pattern, so subscribers see consecutive sequence numbers and
 // snapshot ⊕ deltas keeps reproducing Result().
 func (r *Registry) Apply(ups []graph.Update) (uint64, error) {
-	req := &applyReq{ups: ups, done: make(chan struct{})}
+	req := &applyReq{ups: ups, enq: time.Now(), done: make(chan struct{})}
 	r.qmu.Lock()
 	if r.draining {
 		// A drainer is active; it (or its successor) picks this up.
@@ -426,7 +449,7 @@ func (r *Registry) ApplyContext(ctx context.Context, ups []graph.Update) (uint64
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	req := &applyReq{ups: ups, done: make(chan struct{})}
+	req := &applyReq{ups: ups, enq: time.Now(), done: make(chan struct{})}
 	r.qmu.Lock()
 	r.queue = append(r.queue, req)
 	drain := !r.draining
@@ -565,6 +588,17 @@ func (r *Registry) commit(batch []*applyReq) {
 		}
 		return
 	}
+	// Telemetry: the commit clock starts once the writer lock is held (the
+	// wait for it is the callers' queue-wait, observed per request below),
+	// and each pipeline stage is stamped as it completes.
+	start := time.Now()
+	var ct CommitTiming
+	for _, req := range batch {
+		if !req.enq.IsZero() {
+			r.met.queueWait.ObserveDuration(start.Sub(req.enq))
+		}
+	}
+	r.met.drainSize.Observe(float64(len(batch)))
 	// Per-caller validation: a bad batch fails alone, the rest commit.
 	// A rejected request keeps seq 0 — callers (and the HTTP layer) use a
 	// nonzero seq with an error to distinguish "committed but a later
@@ -583,6 +617,10 @@ func (r *Registry) commit(batch []*applyReq) {
 		return
 	}
 	effective := graph.NetUpdates(r.g, combined)
+	ct.Validate = time.Since(start)
+	r.met.validate.ObserveDuration(ct.Validate)
+	r.met.drainUps.Observe(float64(len(effective)))
+	ct.Batches, ct.Updates = len(valid), len(effective)
 
 	// Repair the shared evaluation network once for the whole commit,
 	// before the per-pattern fan-out: every network-backed matcher's apply
@@ -591,7 +629,10 @@ func (r *Registry) commit(batch []*applyReq) {
 	// matchers then panic inside the fan-out and are evicted individually,
 	// exactly like a private engine that panicked.
 	if r.net != nil && len(effective) > 0 {
+		netStart := time.Now()
 		r.net.Apply(effective)
+		ct.Network = time.Since(netStart)
+		r.met.network.ObserveDuration(ct.Network)
 	}
 
 	// Fan the effective ΔG out to every engine: they read the canonical
@@ -605,15 +646,30 @@ func (r *Registry) commit(batch []*applyReq) {
 	regs := r.snapshotRegs()
 	deltas := make([]rel.Delta, len(regs))
 	repairErr := make([]error, len(regs))
+	repairDur := make([]time.Duration, len(regs))
+	ct.Patterns = len(regs)
 	if len(effective) > 0 {
+		repairStart := time.Now()
 		par.For(len(regs), r.workers, func(_, i int) {
 			defer func() {
 				if rec := recover(); rec != nil {
 					repairErr[i] = fmt.Errorf("contq: pattern %q repair panicked: %v", regs[i].id, rec)
 				}
 			}()
+			engStart := time.Now()
 			deltas[i] = regs[i].m.apply(effective)
+			repairDur[i] = time.Since(engStart)
 		})
+		ct.Repair = time.Since(repairStart)
+		r.met.repair.ObserveDuration(ct.Repair)
+		for i, reg := range regs {
+			if h := r.met.repairKind[reg.kind]; h != nil && repairErr[i] == nil {
+				h.ObserveDuration(repairDur[i])
+			}
+			if repairDur[i] > ct.SlowestRepair {
+				ct.SlowestRepair, ct.SlowestPattern = repairDur[i], reg.id
+			}
+		}
 	}
 
 	r.mu.Lock()
@@ -653,6 +709,7 @@ func (r *Registry) commit(batch []*applyReq) {
 	// full) surfaces to every caller in the commit — the state change
 	// stands in memory but is not durable — and the registry keeps serving.
 	if r.journal != nil {
+		jStart := time.Now()
 		if jerr := r.journal.AppendCommit(seq, effective); jerr != nil {
 			jerr = fmt.Errorf("contq: commit %d applied but not journaled: %w", seq, jerr)
 			for _, req := range valid {
@@ -664,13 +721,18 @@ func (r *Registry) commit(batch []*applyReq) {
 			// snapshot can lag the head. Failures land in journal stats.
 			r.journal.WriteSnapshot(seq, r.g, r.patternDefs()) //nolint:errcheck // recorded in journal.Stats
 		}
+		ct.Journal = time.Since(jStart)
+		r.met.journal.ObserveDuration(ct.Journal)
 	}
+	pubStart := time.Now()
 	for i, reg := range regs {
 		if repairErr[i] != nil {
 			continue
 		}
-		reg.publish(Event{Pattern: reg.id, Seq: seq, Delta: deltas[i]})
+		reg.publish(Event{Pattern: reg.id, Seq: seq, Delta: deltas[i], At: pubStart})
 	}
+	ct.Publish = time.Since(pubStart)
+	r.met.publish.ObserveDuration(ct.Publish)
 	// Evict patterns whose repair panicked: their match state is
 	// undefined, so they must not serve another result or delta. Their
 	// subscribers' channels close (the unregistered signal) and the
@@ -679,6 +741,13 @@ func (r *Registry) commit(batch []*applyReq) {
 		if repairErr[i] != nil {
 			r.evictLocked(reg, seq)
 		}
+	}
+	ct.Seq, ct.Total = seq, time.Since(start)
+	r.met.total.ObserveDuration(ct.Total)
+	r.met.commits.Inc()
+	r.met.applies.Add(uint64(len(valid)))
+	if r.commitObs != nil {
+		r.commitObs(ct)
 	}
 }
 
@@ -804,7 +873,7 @@ func (r *Registry) SubscribeContext(ctx context.Context, id string, options ...S
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, id)
 	}
-	s := newSubscription(id, reg.m.result(), seq, reg, false)
+	s := newSubscription(id, reg.m.result(), seq, reg, r.met, false)
 	reg.mu.Lock()
 	reg.subs[s] = struct{}{}
 	reg.mu.Unlock()
@@ -908,6 +977,20 @@ type Stats struct {
 	// retention and footprint (appended commits, segments, bytes, oldest
 	// retained seq).
 	Journal *journal.Stats `json:"journal,omitempty"`
+	// Timings is the commit pipeline's latency telemetry: per-stage
+	// histograms (queue wait, validate, network, repair fan-out, journal,
+	// publish, total) summarized as count/sum/max/quantiles, plus the
+	// subscription gauges. The same instruments back GET /v1/metricz; this
+	// block is their typed JSON face — the observation stream the adaptive
+	// execution policy consumes.
+	Timings *TimingStats `json:"timings,omitempty"`
+}
+
+// Metrics returns the obs registry holding this registry's instruments —
+// obs.Default() unless WithMetrics injected one. Servers render it (see
+// GET /v1/metricz); tests read it back directly.
+func (r *Registry) Metrics() *obs.Registry {
+	return r.obsReg
 }
 
 // Stats returns the registry's current statistics without blocking behind
@@ -923,11 +1006,13 @@ func (r *Registry) Stats() Stats {
 		s := r.net.Stats()
 		ns = &s
 	}
+	ts := r.met.timingStats()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return Stats{
 		Journal:          js,
 		Network:          ns,
+		Timings:          ts,
 		Patterns:         len(r.pats),
 		Seq:              r.seq,
 		Nodes:            r.g.NumNodes(),

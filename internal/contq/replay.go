@@ -76,7 +76,7 @@ func (r *Registry) subscribeFrom(ctx context.Context, id string, from uint64) (*
 	}
 	if from == head {
 		// Nothing missed: a live subscription without a snapshot.
-		s := newSubscription(id, nil, head, reg, false)
+		s := newSubscription(id, nil, head, reg, r.met, false)
 		reg.mu.Lock()
 		reg.subs[s] = struct{}{}
 		reg.mu.Unlock()
@@ -100,7 +100,7 @@ func (r *Registry) subscribeFrom(ctx context.Context, id string, from uint64) (*
 	// cold resume that misses the memory ring reads disk segments, and
 	// that must not stall every writer behind one reconnecting client.
 	shared := r.resumeClone(head)
-	s := newSubscription(id, nil, from, reg, true)
+	s := newSubscription(id, nil, from, reg, r.met, true)
 	reg.mu.Lock()
 	reg.subs[s] = struct{}{}
 	reg.mu.Unlock()

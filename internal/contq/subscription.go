@@ -23,6 +23,7 @@ type Subscription struct {
 	Pattern  string
 
 	reg  *registration
+	met  *metrics
 	done chan struct{}
 	out  chan Event
 
@@ -36,17 +37,21 @@ type Subscription struct {
 // newSubscription builds a subscription. A paused subscription collects
 // events in its mailbox but does not deliver until start — the window in
 // which a FromSeq resume backfills missed deltas ahead of the live feed.
-func newSubscription(id string, snapshot rel.Relation, seq uint64, reg *registration, paused bool) *Subscription {
+func newSubscription(id string, snapshot rel.Relation, seq uint64, reg *registration, met *metrics, paused bool) *Subscription {
 	s := &Subscription{
 		Snapshot: snapshot,
 		Seq:      seq,
 		Pattern:  id,
 		reg:      reg,
+		met:      met,
 		done:     make(chan struct{}),
 		out:      make(chan Event),
 	}
 	s.C = s.out
 	s.cond = sync.NewCond(&s.mu)
+	if met != nil {
+		met.subsActive.Add(1)
+	}
 	if !paused {
 		s.start()
 	}
@@ -88,6 +93,9 @@ func (s *Subscription) push(ev Event) {
 	s.mu.Lock()
 	if !s.closed {
 		s.queue = append(s.queue, ev)
+		if s.met != nil {
+			s.met.mailboxHW.SetMax(int64(len(s.queue)))
+		}
 		s.cond.Signal()
 	}
 	s.mu.Unlock()
@@ -141,4 +149,7 @@ func (s *Subscription) close() {
 	close(s.done)
 	s.cond.Signal()
 	s.mu.Unlock()
+	if s.met != nil {
+		s.met.subsActive.Add(-1)
+	}
 }

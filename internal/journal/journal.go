@@ -38,8 +38,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"gpm/internal/graph"
+	"gpm/internal/obs"
 )
 
 // Sentinel errors.
@@ -136,6 +138,12 @@ type Stats struct {
 	// LastError surfaces the most recent append/snapshot failure (disk
 	// full, permission), empty when healthy.
 	LastError string `json:"last_error,omitempty"`
+	// AppendMS, FsyncMS and SnapshotMS are disk-latency snapshots (record
+	// appends, active-segment fsyncs, snapshot checkpoints), present only
+	// once the corresponding path has run at least once. Milliseconds.
+	AppendMS   *obs.HistSnapshot `json:"append_ms,omitempty"`
+	FsyncMS    *obs.HistSnapshot `json:"fsync_ms,omitempty"`
+	SnapshotMS *obs.HistSnapshot `json:"snapshot_ms,omitempty"`
 }
 
 // Option configures a Journal.
@@ -198,6 +206,8 @@ type Journal struct {
 	recSnap *Snapshot
 	recTail []Record
 
+	met *jmetrics // disk-latency instruments, see metrics.go
+
 	closed       bool
 	lastErr      error
 	appendFailed error // sticky: a lost record must never be followed by another
@@ -218,6 +228,9 @@ func New(options ...Option) *Journal {
 	j := &Journal{ringCap: 4096, segBytes: 4 << 20, snapEvery: 1024}
 	for _, o := range options {
 		o(j)
+	}
+	if j.met == nil {
+		j.met = newJMetrics(obs.Default())
 	}
 	return j
 }
@@ -427,6 +440,19 @@ func (j *Journal) Stats() Stats {
 	if j.lastErr != nil {
 		st.LastError = j.lastErr.Error()
 	}
+	for _, t := range []struct {
+		h   *obs.Histogram
+		dst **obs.HistSnapshot
+	}{
+		{j.met.appendMS, &st.AppendMS},
+		{j.met.fsyncMS, &st.FsyncMS},
+		{j.met.snapMS, &st.SnapshotMS},
+	} {
+		if s := t.h.Snapshot(); s.Count > 0 {
+			snap := s
+			*t.dst = &snap
+		}
+	}
 	return st
 }
 
@@ -441,6 +467,7 @@ func (j *Journal) Sync() error {
 	if j.active == nil {
 		return nil
 	}
+	defer j.met.fsyncMS.ObserveSince(time.Now())
 	if err := j.active.sync(); err != nil {
 		j.lastErr = err
 		return err

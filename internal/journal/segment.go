@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"gpm/internal/graph"
 )
@@ -412,6 +413,7 @@ func (j *Journal) writeDurable(rec *Record) error {
 	if j.active == nil {
 		return ErrClosed
 	}
+	defer j.met.appendMS.ObserveSince(time.Now())
 	if j.active.info.size >= j.segBytes {
 		if err := j.rotate(); err != nil {
 			return err

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"gpm/internal/graph"
 )
@@ -49,6 +50,7 @@ func (j *Journal) WriteSnapshot(seq uint64, g *graph.Graph, pats []PatternDef) e
 	if j.dir == "" {
 		return nil
 	}
+	defer j.met.snapMS.ObserveSince(time.Now())
 	if err := j.writeSnapshotLocked(seq, g, pats); err != nil {
 		j.lastErr = err
 		return err

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "a counter"); again != c {
+		t.Fatalf("get-or-create returned a different counter")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax(9) = %d, want 9", got)
+	}
+}
+
+func TestLabeledInstrumentsAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("req_total", "requests", L("code", "200"))
+	b := r.Counter("req_total", "requests", L("code", "500"))
+	if a == b {
+		t.Fatalf("distinct label sets share an instrument")
+	}
+	// Label order must not matter for identity.
+	h1 := r.Histogram("h_ms", "h", nil, L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("h_ms", "h", nil, L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Fatalf("label order changed instrument identity")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering %q as both counter and gauge did not panic", "x")
+		}
+	}()
+	r.Gauge("x", "x")
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.5, 5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if want := 0.5 + 0.5 + 5 + 5 + 5 + 50 + 500; s.Sum != want {
+		t.Fatalf("sum = %v, want %v", s.Sum, want)
+	}
+	if s.Max != 500 {
+		t.Fatalf("max = %v, want 500", s.Max)
+	}
+	// The median (rank 3.5 of 7) lands in the (1, 10] bucket.
+	if s.P50 <= 1 || s.P50 > 10 {
+		t.Fatalf("p50 = %v, want in (1, 10]", s.P50)
+	}
+	// The p99 lands in the overflow bucket and clamps to the max.
+	if s.P99 != 500 {
+		t.Fatalf("p99 = %v, want 500 (observed max)", s.P99)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_ms", "durations", nil)
+	h.ObserveDuration(1500 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 1.5 {
+		t.Fatalf("snapshot = %+v, want count 1 sum 1.5ms", s)
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	s := r.Histogram("e_ms", "empty", nil).Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot = %+v, want zeros", s)
+	}
+}
+
+// TestHistogramConcurrency drives many goroutines through one histogram
+// under -race and checks that (a) mid-flight snapshots are internally
+// consistent — Count equals the sum of the bucket copy by construction,
+// and never exceeds the number of observations started — and (b) the final
+// merged totals are exact.
+func TestHistogramConcurrency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_ms", "concurrent", []float64{1, 2, 4, 8, 16})
+	const (
+		goroutines = 8
+		perG       = 10000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// A snapshotting reader races the writers; every snapshot it takes
+	// must satisfy the invariants.
+	var snapErr error
+	var snapWg sync.WaitGroup
+	snapWg.Add(1)
+	go func() {
+		defer snapWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count > goroutines*perG {
+				snapErr = &overErr{s.Count}
+				return
+			}
+			if s.Count > 0 && (s.P50 < 0 || s.P99 > 16 && s.P99 != s.Max) {
+				snapErr = &overErr{s.Count}
+				return
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%20) + 0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snapWg.Wait()
+	if snapErr != nil {
+		t.Fatalf("mid-flight snapshot violated invariants: %v", snapErr)
+	}
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("final count = %d, want %d", s.Count, goroutines*perG)
+	}
+	// Each goroutine observes 0.5..19.5 cyclically: exact expected sum.
+	var want float64
+	for i := 0; i < perG; i++ {
+		want += float64(i%20) + 0.5
+	}
+	want *= goroutines
+	if diff := s.Sum - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("final sum = %v, want %v", s.Sum, want)
+	}
+	if s.Max != 19.5 {
+		t.Fatalf("final max = %v, want 19.5", s.Max)
+	}
+}
+
+type overErr struct{ n uint64 }
+
+func (e *overErr) Error() string { return "bad snapshot" }
+
+// TestConcurrentRegistration races get-or-create against itself: every
+// caller must end up with the same instrument.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const n = 16
+	got := make([]*Counter, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = r.Counter("same_total", "same", L("k", "v"))
+			got[i].Inc()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d got a different instrument", i)
+		}
+	}
+	if v := got[0].Value(); v != n {
+		t.Fatalf("counter = %d, want %d", v, n)
+	}
+}

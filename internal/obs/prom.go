@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): # HELP and # TYPE lines per family, then one sample per
+// instrument — counters and gauges as single samples, histograms as
+// cumulative _bucket{le=...} samples plus _sum and _count. Families render
+// sorted by name and children in registration order, so successive scrapes
+// diff cleanly. No client library is involved; the format is simple enough
+// to emit (and parse, see the tests) directly.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Copy the family/child structure under the lock; the instruments
+	// themselves are read lock-free afterwards (they are atomics).
+	type renderChild struct {
+		labels []Label
+		c      *Counter
+		g      *Gauge
+		h      *Histogram
+	}
+	type renderFamily struct {
+		name, help string
+		kind       metricKind
+		children   []renderChild
+	}
+	fams := make([]renderFamily, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		rf := renderFamily{name: f.name, help: f.help, kind: f.kind}
+		for _, key := range f.order {
+			ch := f.children[key]
+			rf.children = append(rf.children, renderChild{labels: ch.labels, c: ch.c, g: ch.g, h: ch.h})
+		}
+		fams = append(fams, rf)
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, ch := range f.children {
+			switch {
+			case ch.c != nil:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(ch.labels, ""), formatFloat(float64(ch.c.Value()))); err != nil {
+					return err
+				}
+			case ch.g != nil:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(ch.labels, ""), formatFloat(float64(ch.g.Value()))); err != nil {
+					return err
+				}
+			case ch.h != nil:
+				if err := writeHistogram(w, f.name, ch.labels, ch.h); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative bucket series, sum and count for one
+// histogram instrument.
+func writeHistogram(w io.Writer, name string, labels []Label, h *Histogram) error {
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		le := formatFloat(bound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, le), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	total = cum
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(labels, "+Inf"), total); err != nil {
+		return err
+	}
+	sum := math.Float64frombits(h.sum.Load())
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(labels, ""), formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labels, ""), total)
+	return err
+}
+
+// labelString renders a label set as {k="v",...}; le, when non-empty, is
+// appended as the histogram bucket bound label. Empty sets render as "".
+func labelString(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exposition output for a small registry so
+// format drift is caught, byte for byte.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gpm_commits_total", "Committed drains.").Add(3)
+	r.Gauge("gpm_subscriptions_active", "Open match-delta subscriptions.").Set(2)
+	h := r.Histogram("gpm_commit_stage_ms", "Per-stage commit wall time in milliseconds.",
+		[]float64{1, 10}, L("stage", "repair"))
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP gpm_commit_stage_ms Per-stage commit wall time in milliseconds.`,
+		`# TYPE gpm_commit_stage_ms histogram`,
+		`gpm_commit_stage_ms_bucket{stage="repair",le="1"} 1`,
+		`gpm_commit_stage_ms_bucket{stage="repair",le="10"} 2`,
+		`gpm_commit_stage_ms_bucket{stage="repair",le="+Inf"} 3`,
+		`gpm_commit_stage_ms_sum{stage="repair"} 55.5`,
+		`gpm_commit_stage_ms_count{stage="repair"} 3`,
+		`# HELP gpm_commits_total Committed drains.`,
+		`# TYPE gpm_commits_total counter`,
+		`gpm_commits_total 3`,
+		`# HELP gpm_subscriptions_active Open match-delta subscriptions.`,
+		`# TYPE gpm_subscriptions_active gauge`,
+		`gpm_subscriptions_active 2`,
+	}, "\n") + "\n"
+	if b.String() != want {
+		t.Fatalf("exposition drifted.\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "", L("path", `a\b"c`+"\n")).Set(1)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{path="a\\b\"c\n"} 1` + "\n" + `# TYPE g gauge` + "\n"
+	if !strings.Contains(b.String(), `g{path="a\\b\"c\n"} 1`) {
+		t.Fatalf("label not escaped: %q (want it to contain %q)", b.String(), want)
+	}
+}
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm is a minimal parser for the Prometheus text exposition format:
+// enough to validate structure (TYPE lines, label syntax, float values)
+// without a client library. It errors on anything malformed.
+func parseProm(input string) (types map[string]string, samples []promSample, err error) {
+	types = make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(input))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if len(strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)) < 1 {
+				return nil, nil, fmt.Errorf("bad HELP line: %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				return nil, nil, fmt.Errorf("bad TYPE line: %q", line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, nil, fmt.Errorf("unknown type %q in %q", parts[1], line)
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s, perr := parseSample(line)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		samples = append(samples, s)
+	}
+	return types, samples, sc.Err()
+}
+
+func parseSample(line string) (promSample, error) {
+	s := promSample{labels: make(map[string]string)}
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return s, fmt.Errorf("no value in sample %q", line)
+	}
+	v, err := strconv.ParseFloat(line[sp+1:], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.value = v
+	ident := line[:sp]
+	if i := strings.IndexByte(ident, '{'); i >= 0 {
+		if !strings.HasSuffix(ident, "}") {
+			return s, fmt.Errorf("unterminated labels in %q", line)
+		}
+		s.name = ident[:i]
+		inner := ident[i+1 : len(ident)-1]
+		for len(inner) > 0 {
+			eq := strings.IndexByte(inner, '=')
+			if eq < 0 || len(inner) < eq+2 || inner[eq+1] != '"' {
+				return s, fmt.Errorf("bad label in %q", line)
+			}
+			key := inner[:eq]
+			rest := inner[eq+2:]
+			var val strings.Builder
+			j := 0
+			for ; j < len(rest); j++ {
+				if rest[j] == '\\' && j+1 < len(rest) {
+					j++
+					switch rest[j] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[j])
+					}
+					continue
+				}
+				if rest[j] == '"' {
+					break
+				}
+				val.WriteByte(rest[j])
+			}
+			if j == len(rest) {
+				return s, fmt.Errorf("unterminated label value in %q", line)
+			}
+			s.labels[key] = val.String()
+			inner = rest[j+1:]
+			inner = strings.TrimPrefix(inner, ",")
+		}
+	} else {
+		s.name = ident
+	}
+	if s.name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	return s, nil
+}
+
+// TestExpositionParses round-trips a fully loaded registry through the
+// minimal parser and validates the histogram contract: every declared
+// family has samples, bucket counts are cumulative (monotone in le), the
+// +Inf bucket equals _count, and _sum is consistent.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "as", L("k", "x")).Add(7)
+	r.Gauge("b", "bs").Set(-3)
+	h := r.Histogram("c_ms", "cs", []float64{0.5, 1, 2, 4}, L("stage", "validate"))
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 20)
+	}
+	h2 := r.Histogram("c_ms", "cs", []float64{0.5, 1, 2, 4}, L("stage", "publish"))
+	h2.Observe(3)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	types, samples, err := parseProm(b.String())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, b.String())
+	}
+	if types["a_total"] != "counter" || types["b"] != "gauge" || types["c_ms"] != "histogram" {
+		t.Fatalf("TYPE lines missing or wrong: %v", types)
+	}
+
+	// Histogram contract per label set.
+	for _, stage := range []string{"validate", "publish"} {
+		var buckets []promSample
+		var sum, count float64
+		var haveSum, haveCount bool
+		for _, s := range samples {
+			if s.labels["stage"] != stage {
+				continue
+			}
+			switch s.name {
+			case "c_ms_bucket":
+				buckets = append(buckets, s)
+			case "c_ms_sum":
+				sum, haveSum = s.value, true
+			case "c_ms_count":
+				count, haveCount = s.value, true
+			}
+		}
+		if !haveSum || !haveCount {
+			t.Fatalf("stage %s: missing _sum or _count", stage)
+		}
+		if len(buckets) != 5 {
+			t.Fatalf("stage %s: %d buckets, want 5 (4 bounds + +Inf)", stage, len(buckets))
+		}
+		// Buckets must be sorted by le with +Inf last and cumulative counts.
+		sort.SliceStable(buckets, func(i, j int) bool {
+			return leValue(buckets[i].labels["le"]) < leValue(buckets[j].labels["le"])
+		})
+		prev := -1.0
+		for _, bk := range buckets {
+			if bk.value < prev {
+				t.Fatalf("stage %s: bucket counts not cumulative: %v", stage, buckets)
+			}
+			prev = bk.value
+		}
+		if inf := buckets[len(buckets)-1]; inf.labels["le"] != "+Inf" || inf.value != count {
+			t.Fatalf("stage %s: +Inf bucket %v != count %v", stage, inf.value, count)
+		}
+		if sum < 0 {
+			t.Fatalf("stage %s: negative sum", stage)
+		}
+	}
+}
+
+func leValue(le string) float64 {
+	if le == "+Inf" {
+		return 1e308
+	}
+	v, _ := strconv.ParseFloat(le, 64)
+	return v
+}

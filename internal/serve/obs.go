@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// metricz serves the process's telemetry in the Prometheus text exposition
+// format, rendered straight from the obs registry backing the current
+// contq registry (obs.Default() unless the server was built with
+// contq.WithMetrics). One scrape covers the whole pipeline: commit stage
+// histograms, journal disk timings, subscription gauges, request counters.
+func (s *Server) metricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.registry().Metrics().WriteProm(w) //nolint:errcheck // client gone mid-scrape
+}
+
+// statusRecorder captures the status code a handler writes, for access
+// logging. WriteHeader may never be called (implicit 200), so status starts
+// there.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so SSE streaming keeps working
+// behind the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps h with structured request logging: one slog line per
+// request with method, path, status, duration and remote address. Long-
+// lived SSE streams log on disconnect, so their duration is the stream's
+// lifetime. A nil logger returns h unchanged.
+func AccessLog(h http.Handler, logger *slog.Logger) http.Handler {
+	if logger == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

@@ -16,6 +16,7 @@
 //	GET     /v1/patterns/{id}/stream   —                     SSE: snapshot, then deltas
 //	GET     /v1/commits?from=N         —                     raw ΔG tail after seq N
 //	GET     /v1/stats                  —                     registry + journal stats
+//	GET     /v1/metricz                —                     Prometheus text exposition
 //	GET     /v1/healthz                —                     liveness (always 200)
 //	GET     /v1/readyz                 —                     readiness (registry + journal)
 //
@@ -110,6 +111,7 @@ func (s *Server) initMux() {
 		{path: "/updates", methods: map[string]http.HandlerFunc{"POST": s.updates}},
 		{path: "/commits", methods: map[string]http.HandlerFunc{"GET": s.commits}},
 		{path: "/stats", methods: map[string]http.HandlerFunc{"GET": s.stats}},
+		{path: "/metricz", methods: map[string]http.HandlerFunc{"GET": s.metricz}, v1Only: true},
 		{path: "/healthz", methods: map[string]http.HandlerFunc{"GET": s.healthz}, v1Only: true},
 		{path: "/readyz", methods: map[string]http.HandlerFunc{"GET": s.readyz}, v1Only: true},
 	}
@@ -452,6 +454,11 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Event age at delivery: publish timestamp → this handler draining it,
+	// the lag a slow consumer (or a deep mailbox) adds on top of commit
+	// latency. Backfilled events carry no timestamp and are skipped.
+	eventAge := reg.Metrics().Histogram("gpm_sse_event_age_ms",
+		"Age of a match-delta event when the SSE handler delivers it, publish to write, in milliseconds.", nil)
 	for {
 		select {
 		case <-ctx.Done():
@@ -459,6 +466,9 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 		case ev, ok := <-sub.C:
 			if !ok {
 				return // pattern unregistered or server closing
+			}
+			if !ev.At.IsZero() {
+				eventAge.ObserveSince(ev.At)
 			}
 			frame := map[string]any{
 				"id": ev.Pattern, "seq": ev.Seq,
