@@ -28,6 +28,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -98,6 +99,9 @@ type APIError struct {
 	Code    string
 	Message string
 	Seq     uint64
+	// Leader is set on code "read_only": the base URL of the instance
+	// that accepts writes (this one is a follower).
+	Leader string
 }
 
 func (e *APIError) Error() string {
@@ -122,9 +126,27 @@ const (
 	CodeSeqFuture         = "seq_future"
 	CodeMethodNotAllowed  = "method_not_allowed"
 	CodeNotReady          = "not_ready"
+	CodeReadOnly          = "read_only"
 	CodeJournalFailed     = "journal_failed"
 	CodeInternal          = "internal"
 )
+
+// ErrCompacted is the typed terminal condition behind code "compacted":
+// the server's journal no longer retains the commit range the caller
+// needs, and no snapshot rebase is possible on this endpoint. Streams end
+// with an error wrapping it (errors.Is(st.Err(), ErrCompacted)), the
+// signal to re-sync from GET /v1/snapshot instead of reconnecting.
+var ErrCompacted = errors.New("client: commit history compacted; re-sync from a snapshot")
+
+// terminalErr types a terminal stream error: a compacted envelope is
+// wrapped in ErrCompacted so callers can switch on it with errors.Is.
+func terminalErr(err error) error {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Code == CodeCompacted {
+		return fmt.Errorf("%w: %w", ErrCompacted, err)
+	}
+	return err
+}
 
 // apiError decodes the error envelope of a non-2xx response.
 func apiError(resp *http.Response) error {
@@ -134,9 +156,10 @@ func apiError(resp *http.Response) error {
 		Code    string `json:"code"`
 		Message string `json:"message"`
 		Seq     uint64 `json:"seq"`
+		Leader  string `json:"leader"`
 	}
 	if err := json.Unmarshal(body, &env); err == nil && env.Code != "" {
-		e.Code, e.Message, e.Seq = env.Code, env.Message, env.Seq
+		e.Code, e.Message, e.Seq, e.Leader = env.Code, env.Message, env.Seq, env.Leader
 	} else {
 		e.Code, e.Message = CodeInternal, string(bytes.TrimSpace(body))
 	}
@@ -299,6 +322,40 @@ func (c *Client) Commits(ctx context.Context, from uint64) (CommitTail, error) {
 func (c *Client) Stats(ctx context.Context) (gpm.RegistryStats, error) {
 	var out gpm.RegistryStats
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// PatternDef is one standing pattern's portable definition: its id, the
+// resolved engine kind, the pattern source in the text wire format, and
+// the commit sequence it was registered at.
+type PatternDef struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Def    string `json:"def"`
+	RegSeq uint64 `json:"reg_seq"`
+}
+
+// Snapshot is GET /v1/snapshot's response: a consistent full-state export
+// — the canonical graph, the commit sequence it reflects, and every
+// registered pattern's definition. A follower bootstraps from it when the
+// commit tail it needs is compacted.
+type Snapshot struct {
+	Seq      uint64       `json:"seq"`
+	Graph    *gpm.Graph   `json:"graph"`
+	Patterns []PatternDef `json:"patterns"`
+}
+
+// Snapshot fetches a consistent full-state export of the server.
+func (c *Client) Snapshot(ctx context.Context) (Snapshot, error) {
+	out := Snapshot{Graph: gpm.NewGraph()}
+	err := c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &out)
+	return out, err
+}
+
+// PatternDef fetches one standing pattern's portable definition.
+func (c *Client) PatternDef(ctx context.Context, id string) (PatternDef, error) {
+	var out PatternDef
+	err := c.do(ctx, http.MethodGet, "/v1/patterns/"+url.PathEscape(id), nil, &out)
 	return out, err
 }
 

@@ -208,7 +208,7 @@ func (c *Client) Stream(ctx context.Context, id string, options ...StreamOption)
 	} else if err != nil {
 		cancel()
 		close(st.done)
-		return nil, err
+		return nil, terminalErr(err)
 	}
 	go cs.run(sctx, st, ch, resp)
 	return st, nil
@@ -286,7 +286,10 @@ func (cs *streamConn) run(ctx context.Context, st *Stream, ch chan<- MatchEvent,
 					return
 				}
 				if !cs.retryable(err) {
-					st.setErr(err)
+					// Typed so consumers can switch on the cause — notably
+					// ErrCompacted, the re-sync-from-snapshot signal when no
+					// rebase is possible.
+					st.setErr(terminalErr(err))
 					return
 				}
 				resp = nil

@@ -12,6 +12,7 @@
 //	gpserve -addr :8080 -graph g.graph
 //	gpserve -addr :8080 -journal /var/lib/gpserve
 //	gpserve -addr :8080 -log-format json -slow-commit 250ms -pprof localhost:6060
+//	gpserve -addr :8081 -follow http://leader:8080 -follow-lag-max 256
 //
 // A session with curl (text bodies; send Content-Type: application/json
 // to use the JSON wire documents instead):
@@ -37,6 +38,16 @@
 // pattern). GET /v1/metricz exposes the same telemetry as Prometheus text
 // for scraping, and -pprof ADDR serves net/http/pprof on a separate
 // listener, kept off the public API surface.
+//
+// With -follow URL gpserve runs as a read-only replica of the leader at
+// URL: it bootstraps from the leader's snapshot, tails its raw ΔG commit
+// stream, serves every read endpoint locally at the leader's own commit
+// sequence numbers, and answers writes with 403 {"code":"read_only",
+// "leader":URL}. GET /v1/readyz reports 503 while bootstrapping,
+// disconnected from the leader, or lagging by more than -follow-lag-max
+// commits — put followers behind a load balancer keyed on readiness.
+// -follow is incompatible with -journal and -graph: the leader owns
+// durability and the world.
 //
 // With -journal DIR every commit (and pattern registration) is appended
 // to a durable, checksummed log, and on startup gpserve recovers the
@@ -65,6 +76,7 @@ import (
 	"time"
 
 	"gpm/internal/contq"
+	"gpm/internal/follow"
 	"gpm/internal/graph"
 	"gpm/internal/journal"
 	"gpm/internal/par"
@@ -88,6 +100,10 @@ func main() {
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		slow      = flag.Duration("slow-commit", 500*time.Millisecond, "log a warning with the per-stage breakdown for commits slower than this (0 disables)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (separate listener; empty disables)")
+
+		followURL       = flag.String("follow", "", "run as a read-only follower replicating the leader at this base URL")
+		followLagMax    = flag.Uint64("follow-lag-max", 1024, "report not-ready when trailing the leader by more than this many commits (0 = lag never gates readiness)")
+		followReconcile = flag.Duration("follow-reconcile", 2*time.Second, "pattern-reconciliation poll interval against the leader")
 	)
 	flag.Parse()
 
@@ -136,8 +152,24 @@ func main() {
 
 	var srv *serve.Server
 	var jnl *journal.Journal
+	var fl *follow.Follower
 	recoverStart := time.Now()
-	if *jdir != "" {
+	if *followURL != "" {
+		if *jdir != "" {
+			fatal("-follow is incompatible with -journal (followers replicate the leader's journal)")
+		}
+		if *gfile != "" {
+			fatal("-follow is incompatible with -graph (followers bootstrap from the leader's snapshot)")
+		}
+		srv = serve.NewReadOnly(*followURL, regOpts...)
+		fl = follow.New(srv, follow.Config{
+			Leader:    *followURL,
+			MaxLag:    *followLagMax,
+			Reconcile: *followReconcile,
+			Logger:    logger,
+		})
+		logger.Info("follower mode", "leader", *followURL, "lag_max", *followLagMax)
+	} else if *jdir != "" {
 		var err error
 		jnl, err = journal.Open(*jdir,
 			journal.WithSnapshotEvery(*jsnap),
@@ -153,45 +185,47 @@ func main() {
 	} else {
 		srv = serve.New(regOpts...)
 	}
-	nodes, edges, seq := srv.Registry().GraphInfo()
-	npats := len(srv.Registry().Patterns())
-	recovered := seq > 0 || nodes > 0 || npats > 0
-	if jnl != nil && recovered {
-		js := jnl.Stats()
-		logger.Info("recovered",
-			"dir", *jdir,
-			"seq", seq,
-			"patterns", npats,
-			"nodes", nodes,
-			"edges", edges,
-			"segments", js.Segments,
-			"journal_bytes", js.Bytes,
-			"snapshot_seq", js.SnapshotSeq,
-			"elapsed_ms", ms(time.Since(recoverStart)),
-		)
-	}
-
-	if *gfile != "" {
+	if fl == nil {
+		nodes, edges, seq := srv.Registry().GraphInfo()
+		npats := len(srv.Registry().Patterns())
+		recovered := seq > 0 || nodes > 0 || npats > 0
 		if jnl != nil && recovered {
-			// The journal already holds a world — even one still at seq 0
-			// (a POSTed graph or registered patterns with no commits yet);
-			// -graph would wipe it.
-			logger.Warn("journal has state; ignoring -graph (POST /graph to replace)",
-				"seq", seq, "nodes", nodes, "patterns", npats, "graph", *gfile)
-		} else {
-			f, err := os.Open(*gfile)
-			if err != nil {
-				fatal("opening graph file", "file", *gfile, "error", err)
+			js := jnl.Stats()
+			logger.Info("recovered",
+				"dir", *jdir,
+				"seq", seq,
+				"patterns", npats,
+				"nodes", nodes,
+				"edges", edges,
+				"segments", js.Segments,
+				"journal_bytes", js.Bytes,
+				"snapshot_seq", js.SnapshotSeq,
+				"elapsed_ms", ms(time.Since(recoverStart)),
+			)
+		}
+
+		if *gfile != "" {
+			if jnl != nil && recovered {
+				// The journal already holds a world — even one still at seq 0
+				// (a POSTed graph or registered patterns with no commits yet);
+				// -graph would wipe it.
+				logger.Warn("journal has state; ignoring -graph (POST /graph to replace)",
+					"seq", seq, "nodes", nodes, "patterns", npats, "graph", *gfile)
+			} else {
+				f, err := os.Open(*gfile)
+				if err != nil {
+					fatal("opening graph file", "file", *gfile, "error", err)
+				}
+				g, err := graph.Read(f)
+				f.Close()
+				if err != nil {
+					fatal("parsing graph file", "file", *gfile, "error", err)
+				}
+				if err := srv.LoadGraph(g); err != nil {
+					fatal("loading graph", "file", *gfile, "error", err)
+				}
+				logger.Info("graph loaded", "file", *gfile, "nodes", g.NumNodes(), "edges", g.NumEdges())
 			}
-			g, err := graph.Read(f)
-			f.Close()
-			if err != nil {
-				fatal("parsing graph file", "file", *gfile, "error", err)
-			}
-			if err := srv.LoadGraph(g); err != nil {
-				fatal("loading graph", "file", *gfile, "error", err)
-			}
-			logger.Info("graph loaded", "file", *gfile, "nodes", g.NumNodes(), "edges", g.NumEdges())
 		}
 	}
 
@@ -221,6 +255,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if fl != nil {
+		// The replication loop runs until the signal context ends; its exit
+		// needs no join — closing the registry below ends anything in flight.
+		go fl.Run(ctx) //nolint:errcheck // only ever returns ctx.Err()
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

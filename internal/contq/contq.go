@@ -199,6 +199,13 @@ type Registry struct {
 	queue    []*applyReq
 	draining bool
 
+	// Commit subscribers: raw-ΔG tails (SubscribeCommits, the feed behind
+	// GET /v1/commits/stream and follower replication). Published inside
+	// the writer's critical section, guarded by their own lock so attach/
+	// detach never contends with readers.
+	cmu   sync.Mutex
+	csubs map[*CommitSub]struct{}
+
 	// Telemetry: met holds the commit pipeline's instruments (per-stage
 	// histograms, queue-wait, subscription gauges), registered in obsReg —
 	// obs.Default() unless WithMetrics injected one. commitObs, when set,
@@ -280,7 +287,7 @@ func WithoutNetwork() Option {
 // snapshot of g so crash recovery can replay commits over the starting
 // state.
 func New(g *graph.Graph, options ...Option) *Registry {
-	r := &Registry{g: g, pats: make(map[string]*registration), engineW: 1}
+	r := &Registry{g: g, pats: make(map[string]*registration), csubs: make(map[*CommitSub]struct{}), engineW: 1}
 	for _, o := range options {
 		o(r)
 	}
@@ -622,6 +629,45 @@ func (r *Registry) commit(batch []*applyReq) {
 	r.met.drainUps.Observe(float64(len(effective)))
 	ct.Batches, ct.Updates = len(valid), len(effective)
 
+	// The committed callback stamps every caller's seq the instant it is
+	// assigned — before journaling and publishing — so a failure (or panic)
+	// in any later step surfaces as "committed at seq N but X failed",
+	// never as the seq-0 signal that means the batch was rejected.
+	_, jerr, err := r.commitEffective(effective, len(valid), len(combined), &ct, start, func(seq uint64) {
+		for _, req := range valid {
+			req.seq = seq
+		}
+	})
+	if err != nil {
+		// No seq was assigned: callers see seq 0 with the error.
+		for _, req := range valid {
+			req.err = err
+		}
+		return
+	}
+	if jerr != nil {
+		for _, req := range valid {
+			req.err = jerr
+		}
+	}
+}
+
+// commitEffective runs the committed half of the pipeline for one net
+// effective batch, under writeMu: shared-network repair, engine fan-out,
+// canonical graph mutation, sequence assignment, journaling, publishes
+// (pattern deltas and raw-ΔG commit subscribers) and evictions. Both the
+// coalescing writer (commit) and the replication path (ApplyReplicated)
+// funnel through here, so leader and follower commits are byte-for-byte
+// the same pipeline.
+//
+// applies and submitted are the caller-side counts for Stats (Apply calls
+// admitted, unit updates before coalescing). committed, if non-nil, runs
+// the instant the sequence is assigned — before journaling and publishing
+// — so callers can record the seq even if a later step panics. The
+// returned jerr is a journal append failure — the commit still stands in
+// memory and was published; err means the commit did not happen (the
+// canonical graph rejected the batch) and no sequence was consumed.
+func (r *Registry) commitEffective(effective []graph.Update, applies, submitted int, ct *CommitTiming, start time.Time, committed func(seq uint64)) (seq uint64, jerr, err error) {
 	// Repair the shared evaluation network once for the whole commit,
 	// before the per-pattern fan-out: every network-backed matcher's apply
 	// below just reads its pattern's cached (remapped) delta. A shared node
@@ -674,30 +720,22 @@ func (r *Registry) commit(batch []*applyReq) {
 
 	r.mu.Lock()
 	if len(effective) > 0 {
-		if _, err := r.g.ApplyAll(effective); err != nil {
-			// Unreachable after validation + coalescing; surface loudly.
-			// No seq was assigned: callers see seq 0 with the error.
+		if _, aerr := r.g.ApplyAll(effective); aerr != nil {
+			// Unreachable after validation + coalescing on the writer path;
+			// on the replication path it means the replica diverged.
 			r.mu.Unlock()
-			err = fmt.Errorf("contq: canonical graph diverged: %w", err)
-			for _, req := range valid {
-				req.err = err
-			}
-			return
+			return 0, nil, fmt.Errorf("contq: canonical graph diverged: %w", aerr)
 		}
 	}
 	r.seq++
-	seq := r.seq
+	seq = r.seq
 	r.commits++
-	r.applies += uint64(len(valid))
-	r.upsSubmitted += uint64(len(combined))
+	r.applies += uint64(applies)
+	r.upsSubmitted += uint64(submitted)
 	r.upsApplied += uint64(len(effective))
 	r.mu.Unlock()
-	// The commit now exists: stamp every caller's seq immediately, so a
-	// failure in any later step (journal append, publish) surfaces as
-	// "committed at seq N but X failed" — never as the seq-0 signal that
-	// means the batch was rejected.
-	for _, req := range valid {
-		req.seq = seq
+	if committed != nil {
+		committed(seq)
 	}
 	// The graph (and head) moved on: drop the resume-clone cache so no
 	// later resume reuses a stale copy (also frees its memory).
@@ -710,11 +748,8 @@ func (r *Registry) commit(batch []*applyReq) {
 	// stands in memory but is not durable — and the registry keeps serving.
 	if r.journal != nil {
 		jStart := time.Now()
-		if jerr := r.journal.AppendCommit(seq, effective); jerr != nil {
-			jerr = fmt.Errorf("contq: commit %d applied but not journaled: %w", seq, jerr)
-			for _, req := range valid {
-				req.err = jerr
-			}
+		if aerr := r.journal.AppendCommit(seq, effective); aerr != nil {
+			jerr = fmt.Errorf("contq: commit %d applied but not journaled: %w", seq, aerr)
 		} else if r.journal.SnapshotDue() {
 			// Checkpoint under the writer lock: the canonical graph is
 			// stable here, and blocking the next commit bounds how far the
@@ -725,6 +760,7 @@ func (r *Registry) commit(batch []*applyReq) {
 		r.met.journal.ObserveDuration(ct.Journal)
 	}
 	pubStart := time.Now()
+	r.publishCommit(CommitEvent{Seq: seq, Updates: effective, At: pubStart})
 	for i, reg := range regs {
 		if repairErr[i] != nil {
 			continue
@@ -745,10 +781,11 @@ func (r *Registry) commit(batch []*applyReq) {
 	ct.Seq, ct.Total = seq, time.Since(start)
 	r.met.total.ObserveDuration(ct.Total)
 	r.met.commits.Inc()
-	r.met.applies.Add(uint64(len(valid)))
+	r.met.applies.Add(uint64(applies))
 	if r.commitObs != nil {
-		r.commitObs(ct)
+		r.commitObs(*ct)
 	}
+	return seq, jerr, nil
 }
 
 // evictLocked removes a pattern whose engine is no longer trustworthy.
@@ -1046,6 +1083,8 @@ func (r *Registry) Close() {
 		r.journal.Sync() //nolint:errcheck // recorded in journal.Stats
 	}
 	r.writeMu.Unlock()
+	// Safe without writeMu: closed is set, so no commit can publish again.
+	r.closeCommitSubs()
 	for _, reg := range pats {
 		// Safe without writeMu: closed is set, so no commit, Register or
 		// Unregister can touch these matchers again.

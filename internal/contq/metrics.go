@@ -37,20 +37,21 @@ var CommitStages = []string{"validate", "network", "repair", "journal", "publish
 // so several contq registries in one process aggregate into the same
 // series (the obs get-or-create contract).
 type metrics struct {
-	queueWait  *obs.Histogram // Apply enqueue → drain pickup
-	drainSize  *obs.Histogram // Apply calls coalesced per commit
-	drainUps   *obs.Histogram // effective updates per commit
-	validate   *obs.Histogram
-	network    *obs.Histogram
-	repair     *obs.Histogram // fan-out wall time (the max across engines bounds it)
-	journal    *obs.Histogram
-	publish    *obs.Histogram
-	total      *obs.Histogram
-	repairKind map[Kind]*obs.Histogram // per-engine repair time by kind
-	commits    *obs.Counter
-	applies    *obs.Counter
-	subsActive *obs.Gauge // open subscriptions across all patterns
-	mailboxHW  *obs.Gauge // deepest subscriber mailbox ever observed
+	queueWait   *obs.Histogram // Apply enqueue → drain pickup
+	drainSize   *obs.Histogram // Apply calls coalesced per commit
+	drainUps    *obs.Histogram // effective updates per commit
+	validate    *obs.Histogram
+	network     *obs.Histogram
+	repair      *obs.Histogram // fan-out wall time (the max across engines bounds it)
+	journal     *obs.Histogram
+	publish     *obs.Histogram
+	total       *obs.Histogram
+	repairKind  map[Kind]*obs.Histogram // per-engine repair time by kind
+	commits     *obs.Counter
+	applies     *obs.Counter
+	subsActive  *obs.Gauge // open subscriptions across all patterns
+	csubsActive *obs.Gauge // open raw-ΔG commit subscriptions
+	mailboxHW   *obs.Gauge // deepest subscriber mailbox ever observed
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -77,6 +78,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		applies: reg.Counter("gpm_applies_total", "Apply calls admitted into commits."),
 		subsActive: reg.Gauge("gpm_subscriptions_active",
 			"Open match-delta subscriptions across all standing patterns."),
+		csubsActive: reg.Gauge("gpm_commit_subscriptions_active",
+			"Open raw-ΔG commit subscriptions (followers and commit-stream tails)."),
 		mailboxHW: reg.Gauge("gpm_subscription_mailbox_highwater",
 			"Deepest per-subscriber mailbox observed since start (events queued behind a slow consumer)."),
 		repairKind: make(map[Kind]*obs.Histogram, 3),

@@ -1,0 +1,486 @@
+// Package follow is the replication side of follower mode: it keeps a
+// read-only gpserve instance (serve.NewReadOnly) in lockstep with a
+// leader over the v1 wire API.
+//
+// The follower bootstraps by trying the cheap path first — a raw commit
+// catch-up (GET /v1/commits?from=) over whatever local registry it
+// already holds — and falls back to a full-state fetch (GET /v1/snapshot)
+// when it holds nothing or the leader has compacted the range. It then
+// tails the leader's raw ΔG commit stream (GET /v1/commits/stream via the
+// SDK's reconnecting CommitStream) and applies every batch through its
+// own registry at the leader's own sequence numbers, so everything keyed
+// by sequence — SSE Last-Event-ID resume, Replay tails — works
+// identically against leader or follower. Pattern registrations are
+// mirrored by periodic reconciliation against GET /v1/patterns: engine
+// state is a function of the current graph, so a late-arriving pattern
+// still computes the correct match.
+//
+// Readiness (wired into /v1/readyz through serve.SetReadyCheck) reflects
+// replication health: not ready while bootstrapping, while the commit
+// stream is disconnected from the leader, or while the applied sequence
+// lags the leader's head beyond the configured bound.
+package follow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"gpm/client"
+	"gpm/internal/contq"
+	"gpm/internal/journal"
+	"gpm/internal/obs"
+	"gpm/internal/serve"
+)
+
+// Metric names of the replication pipeline, exposed on the follower's
+// GET /v1/metricz.
+const (
+	// MetricAppliedSeq is the newest leader commit sequence applied
+	// locally.
+	MetricAppliedSeq = "gpm_follower_applied_seq"
+	// MetricLag is the replication lag in commits: the leader's newest
+	// known sequence minus the applied sequence.
+	MetricLag = "gpm_follower_replication_lag"
+	// MetricConnected is 1 while the commit stream holds an open
+	// connection to the leader, 0 otherwise.
+	MetricConnected = "gpm_follower_connected"
+)
+
+// Config parameterizes a Follower.
+type Config struct {
+	// Leader is the leader's base URL (e.g. "http://leader:8080").
+	Leader string
+	// MaxLag bounds readiness: when the applied sequence lags the
+	// leader's newest known sequence by more than MaxLag commits, Ready
+	// reports an error (and /v1/readyz answers 503). 0 means lag alone
+	// never gates readiness — only bootstrap and connectivity do.
+	MaxLag uint64
+	// Reconcile is the pattern-reconciliation poll interval (default 2s):
+	// how often the follower diffs its registered patterns against the
+	// leader's and mirrors the difference.
+	Reconcile time.Duration
+	// Logger receives replication lifecycle events (default slog.Default).
+	Logger *slog.Logger
+	// Metrics receives the follower gauges (default obs.Default()).
+	Metrics *obs.Registry
+	// RegistryOptions are applied to every registry a (re)bootstrap
+	// builds, alongside the follower's own memory journal.
+	RegistryOptions []contq.Option
+	// ClientOptions configure the SDK client used against the leader.
+	ClientOptions []client.Option
+}
+
+// Stats is the follower block attached to the follower's /v1/stats
+// document.
+type Stats struct {
+	Leader     string `json:"leader"`
+	State      string `json:"state"` // bootstrapping | following | disconnected
+	AppliedSeq uint64 `json:"applied_seq"`
+	LeaderSeq  uint64 `json:"leader_seq"`
+	Lag        uint64 `json:"lag"`
+	Bootstraps uint64 `json:"bootstraps"` // snapshot bootstraps since start
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// Follower replicates one leader into a read-only server. Construct with
+// New, then drive with Run; Ready and Stats serve the readiness and
+// stats hooks (New wires both into the server).
+type Follower struct {
+	cfg Config
+	cli *client.Client
+	srv *serve.Server
+
+	gApplied   *obs.Gauge
+	gLag       *obs.Gauge
+	gConnected *obs.Gauge
+
+	mu           sync.Mutex
+	reg          *contq.Registry // nil until the first bootstrap installs one
+	bootstrapped bool
+	connected    bool
+	leaderSeq    uint64
+	bootstraps   uint64
+	lastErr      string
+}
+
+// New builds a follower replicating cfg.Leader into srv (a
+// serve.NewReadOnly server), wiring its readiness and stats hooks.
+// Nothing talks to the leader until Run.
+func New(srv *serve.Server, cfg Config) *Follower {
+	if cfg.Reconcile <= 0 {
+		cfg.Reconcile = 2 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	f := &Follower{
+		cfg: cfg,
+		cli: client.New(cfg.Leader, cfg.ClientOptions...),
+		srv: srv,
+		gApplied: cfg.Metrics.Gauge(MetricAppliedSeq,
+			"Newest leader commit sequence applied by this follower."),
+		gLag: cfg.Metrics.Gauge(MetricLag,
+			"Replication lag in commits: leader's newest known sequence minus the applied sequence."),
+		gConnected: cfg.Metrics.Gauge(MetricConnected,
+			"1 while the commit stream holds an open connection to the leader, 0 otherwise."),
+	}
+	srv.SetReadyCheck(f.Ready)
+	srv.SetStatsExtra(func() any { return f.Stats() })
+	return f
+}
+
+// Ready reports replication health: nil when bootstrapped, connected to
+// the leader, and within the lag bound — the /v1/readyz contract.
+func (f *Follower) Ready() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.bootstrapped {
+		return fmt.Errorf("follower bootstrapping from %s", f.cfg.Leader)
+	}
+	if !f.connected {
+		return fmt.Errorf("follower disconnected from leader %s", f.cfg.Leader)
+	}
+	if lag := f.lagLocked(); f.cfg.MaxLag > 0 && lag > f.cfg.MaxLag {
+		return fmt.Errorf("follower lagging leader %s by %d commits (bound %d)", f.cfg.Leader, lag, f.cfg.MaxLag)
+	}
+	return nil
+}
+
+// Stats snapshots the replication state.
+func (f *Follower) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Stats{
+		Leader:     f.cfg.Leader,
+		AppliedSeq: f.appliedLocked(),
+		LeaderSeq:  f.leaderSeq,
+		Lag:        f.lagLocked(),
+		Bootstraps: f.bootstraps,
+		LastError:  f.lastErr,
+	}
+	switch {
+	case !f.bootstrapped:
+		st.State = "bootstrapping"
+	case !f.connected:
+		st.State = "disconnected"
+	default:
+		st.State = "following"
+	}
+	return st
+}
+
+// appliedLocked is the local registry's head (0 before bootstrap).
+func (f *Follower) appliedLocked() uint64 {
+	if f.reg == nil {
+		return 0
+	}
+	return f.reg.Seq()
+}
+
+// lagLocked is the saturating leader-minus-applied distance.
+func (f *Follower) lagLocked() uint64 {
+	applied := f.appliedLocked()
+	if f.leaderSeq <= applied {
+		return 0
+	}
+	return f.leaderSeq - applied
+}
+
+// observeLeaderSeq folds a newly learned leader sequence into the state
+// (monotonic) and refreshes the gauges.
+func (f *Follower) observeLeaderSeq(seq uint64) {
+	f.mu.Lock()
+	if seq > f.leaderSeq {
+		f.leaderSeq = seq
+	}
+	f.gApplied.Set(int64(f.appliedLocked()))
+	f.gLag.Set(int64(f.lagLocked()))
+	f.mu.Unlock()
+}
+
+// setConnected tracks the commit stream's connection state.
+func (f *Follower) setConnected(up bool) {
+	f.mu.Lock()
+	f.connected = up
+	f.mu.Unlock()
+	if up {
+		f.gConnected.Set(1)
+	} else {
+		f.gConnected.Set(0)
+	}
+}
+
+// setErr records the most recent replication error for Stats.
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	if err != nil {
+		f.lastErr = err.Error()
+	}
+	f.mu.Unlock()
+}
+
+// errResync marks a tail failure that invalidates the local replica:
+// the leader's history diverged from (or compacted past) ours, so the
+// only way forward is a fresh snapshot bootstrap.
+var errResync = errors.New("follow: replica must re-sync from a snapshot")
+
+// needsResync classifies terminal tail errors: compacted ranges, resume
+// points ahead of the leader's head (the leader restarted with less
+// history), and local divergence all demand a snapshot re-bootstrap.
+func needsResync(err error) bool {
+	if errors.Is(err, client.ErrCompacted) || errors.Is(err, contq.ErrReplicaGap) {
+		return true
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Code == client.CodeSeqFuture || apiErr.Code == client.CodeCompacted
+	}
+	return false
+}
+
+// Run drives the replication loop until ctx is canceled: bootstrap (or
+// catch up), tail the commit stream, reconcile patterns — re-bootstrapping
+// from a snapshot whenever the tail reports the replica can no longer
+// follow. Transient leader failures (unreachable, restarting) are retried
+// with backoff; Run only returns ctx.Err().
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := 200 * time.Millisecond
+	const backoffMax = 3 * time.Second
+	for {
+		if err := f.sync(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			f.setErr(err)
+			f.cfg.Logger.Warn("follower sync failed; retrying", "leader", f.cfg.Leader, "error", err)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+			continue
+		}
+		backoff = 200 * time.Millisecond
+	}
+}
+
+// sync is one bootstrap-and-tail cycle. It returns nil when the tail
+// ended in a way the next cycle repairs by itself (re-sync scheduled),
+// or the error to back off on.
+func (f *Follower) sync(ctx context.Context) error {
+	if err := f.bootstrap(ctx); err != nil {
+		return err
+	}
+	err := f.tail(ctx)
+	f.setConnected(false)
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if errors.Is(err, errResync) {
+		// Drop the replica: the next bootstrap must take the snapshot
+		// path, catch-up over diverged state would corrupt it.
+		f.mu.Lock()
+		f.reg = nil
+		f.bootstrapped = false
+		f.mu.Unlock()
+		f.cfg.Logger.Warn("follower re-syncing from snapshot", "leader", f.cfg.Leader)
+		return nil
+	}
+	return err
+}
+
+// bootstrap brings the local registry to the leader's head: a raw commit
+// catch-up when a replica already exists, a full snapshot fetch when none
+// does or the catch-up range is compacted.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	f.mu.Lock()
+	reg := f.reg
+	f.mu.Unlock()
+	if reg != nil {
+		err := f.catchUp(ctx, reg)
+		if err == nil {
+			return nil
+		}
+		if !needsResync(err) {
+			return err
+		}
+		f.mu.Lock()
+		f.reg = nil
+		f.bootstrapped = false
+		f.mu.Unlock()
+	}
+
+	snap, err := f.cli.Snapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("fetching leader snapshot: %w", err)
+	}
+	defs := make([]journal.PatternDef, 0, len(snap.Patterns))
+	for _, pd := range snap.Patterns {
+		defs = append(defs, journal.PatternDef{ID: pd.ID, Kind: pd.Kind, Def: []byte(pd.Def), RegSeq: pd.RegSeq})
+	}
+	jnl := journal.New()
+	opts := make([]contq.Option, 0, len(f.cfg.RegistryOptions)+1)
+	opts = append(opts, f.cfg.RegistryOptions...)
+	opts = append(opts, contq.WithJournal(jnl))
+	newReg, err := contq.NewAt(snap.Graph, snap.Seq, defs, opts...)
+	if err != nil {
+		return fmt.Errorf("building replica from snapshot at seq %d: %w", snap.Seq, err)
+	}
+	f.srv.SetRegistry(newReg, jnl)
+	f.mu.Lock()
+	f.reg = newReg
+	f.bootstrapped = true
+	f.bootstraps++
+	f.mu.Unlock()
+	f.observeLeaderSeq(snap.Seq)
+	f.cfg.Logger.Info("follower bootstrapped from snapshot",
+		"leader", f.cfg.Leader, "seq", snap.Seq, "patterns", len(defs),
+		"nodes", snap.Graph.NumNodes(), "edges", snap.Graph.NumEdges())
+	return nil
+}
+
+// catchUp replays the commits the replica missed via GET /v1/commits.
+func (f *Follower) catchUp(ctx context.Context, reg *contq.Registry) error {
+	from := reg.Seq()
+	tail, err := f.cli.Commits(ctx, from)
+	if err != nil {
+		return fmt.Errorf("catch-up tail from %d: %w", from, err)
+	}
+	for _, c := range tail.Commits {
+		if err := reg.ApplyReplicated(c.Seq, c.Updates); err != nil {
+			return fmt.Errorf("catch-up apply at %d: %w", c.Seq, err)
+		}
+	}
+	f.mu.Lock()
+	f.bootstrapped = true
+	f.mu.Unlock()
+	f.observeLeaderSeq(tail.Head)
+	if len(tail.Commits) > 0 {
+		f.cfg.Logger.Info("follower caught up",
+			"leader", f.cfg.Leader, "from", from, "head", tail.Head, "commits", len(tail.Commits))
+	}
+	return nil
+}
+
+// tail applies the leader's live commit stream until ctx ends or the
+// stream reports a terminal condition. Returns errResync when the replica
+// must rebuild from a snapshot.
+func (f *Follower) tail(ctx context.Context) error {
+	f.mu.Lock()
+	reg := f.reg
+	f.mu.Unlock()
+	st, err := f.cli.CommitStream(ctx, client.FromSeq(reg.Seq()))
+	if err != nil {
+		if needsResync(err) {
+			return errResync
+		}
+		return fmt.Errorf("opening commit stream: %w", err)
+	}
+	defer st.Close()
+	f.setConnected(st.Stats().Connected)
+
+	// The ticker drives pattern reconciliation and keeps the connection
+	// gauge honest while no commits flow (an idle leader outage would
+	// otherwise go unnoticed until the next event).
+	tick := time.NewTicker(f.cfg.Reconcile)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			f.setConnected(st.Stats().Connected)
+			if err := f.reconcile(ctx, reg); err != nil && ctx.Err() == nil {
+				f.setErr(err)
+			}
+		case ev, ok := <-st.C:
+			if !ok {
+				err := st.Err()
+				if err == nil {
+					err = errors.New("commit stream closed")
+				}
+				if needsResync(err) {
+					return errResync
+				}
+				return fmt.Errorf("commit stream ended: %w", err)
+			}
+			f.setConnected(true)
+			switch ev.Type {
+			case client.EventHead:
+				f.observeLeaderSeq(ev.Seq)
+			case client.EventCommit:
+				if err := reg.ApplyReplicated(ev.Seq, ev.Updates); err != nil {
+					if needsResync(err) {
+						return errResync
+					}
+					return fmt.Errorf("applying replicated commit %d: %w", ev.Seq, err)
+				}
+				f.observeLeaderSeq(ev.Seq)
+			}
+		}
+	}
+}
+
+// reconcile mirrors the leader's standing patterns into the replica:
+// registers the ones the leader has that we lack (by fetching their
+// portable definitions) and unregisters the ones the leader dropped.
+// Correct regardless of when a pattern arrived: engine state is a
+// function of the current graph, which replication keeps identical.
+func (f *Follower) reconcile(ctx context.Context, reg *contq.Registry) error {
+	leaderPats, err := f.cli.Patterns(ctx)
+	if err != nil {
+		return fmt.Errorf("listing leader patterns: %w", err)
+	}
+	want := make(map[string]bool, len(leaderPats))
+	for _, pi := range leaderPats {
+		want[pi.ID] = true
+	}
+	have := make(map[string]bool)
+	for _, pi := range reg.Patterns() {
+		have[pi.ID] = true
+	}
+	for id := range want {
+		if have[id] {
+			continue
+		}
+		pd, err := f.cli.PatternDef(ctx, id)
+		if err != nil {
+			var apiErr *client.APIError
+			if errors.As(err, &apiErr) && apiErr.Code == client.CodeNotFound {
+				continue // unregistered between the list and the fetch
+			}
+			return fmt.Errorf("fetching pattern %q: %w", id, err)
+		}
+		if err := reg.RegisterDef(journal.PatternDef{
+			ID: pd.ID, Kind: pd.Kind, Def: []byte(pd.Def), RegSeq: pd.RegSeq,
+		}); err != nil {
+			if errors.Is(err, contq.ErrAlreadyRegistered) {
+				continue
+			}
+			return fmt.Errorf("mirroring pattern %q: %w", id, err)
+		}
+		f.cfg.Logger.Info("follower mirrored pattern", "id", id, "kind", pd.Kind)
+	}
+	for id := range have {
+		if !want[id] {
+			reg.Unregister(id)
+			f.cfg.Logger.Info("follower dropped pattern", "id", id)
+		}
+	}
+	// A reconcile doubles as a leader-head poll, so lag stays fresh even
+	// when the stream is quiet.
+	if info, err := f.cli.GraphInfo(ctx); err == nil {
+		f.observeLeaderSeq(info.Seq)
+	}
+	return nil
+}

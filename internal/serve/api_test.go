@@ -48,7 +48,7 @@ func TestStatusConsistency(t *testing.T) {
 		// Wrong method on every route, both API versions.
 		{"graph wrong method", "DELETE", "/v1/graph", "", 405, CodeMethodNotAllowed, "GET, POST"},
 		{"patterns wrong method", "POST", "/v1/patterns", "", 405, CodeMethodNotAllowed, "GET"},
-		{"pattern wrong method", "GET", "/v1/patterns/q", "", 405, CodeMethodNotAllowed, "DELETE, PUT"},
+		{"pattern wrong method", "POST", "/v1/patterns/q", "", 405, CodeMethodNotAllowed, "DELETE, GET, PUT"},
 		{"result wrong method", "POST", "/v1/patterns/q/result", "", 405, CodeMethodNotAllowed, "GET"},
 		{"stream wrong method", "PUT", "/v1/patterns/q/stream", "", 405, CodeMethodNotAllowed, "GET"},
 		{"updates wrong method", "GET", "/v1/updates", "", 405, CodeMethodNotAllowed, "POST"},

@@ -60,11 +60,19 @@ import (
 // (in-memory journal: streams resume, nothing survives the process) or
 // NewWithJournal (durable journal: crash recovery too).
 type Server struct {
-	mu      sync.RWMutex // guards the registry pointer (swapped by POST /graph)
+	mu      sync.RWMutex // guards reg/journal (swapped by POST /graph or SetRegistry)
 	reg     *contq.Registry
 	opts    []contq.Option // re-applied to every registry a graph swap creates
 	journal *journal.Journal
 	mux     *http.ServeMux
+
+	// Follower mode (NewReadOnly): writes are rejected with a read_only
+	// envelope naming leader; readyCheck and statsExtra are the follow
+	// package's hooks into /v1/readyz and /v1/stats.
+	readOnly   bool
+	leader     string
+	readyCheck func() error
+	statsExtra func() any
 }
 
 // New builds a server over an initially empty graph with a memory-only
@@ -92,6 +100,55 @@ func NewWithJournal(j *journal.Journal, options ...contq.Option) (*Server, error
 	return s, nil
 }
 
+// NewReadOnly builds a follower-facing server: every read route serves
+// from the local registry, every write is rejected with a read_only
+// envelope naming leaderURL. The initial registry is an empty placeholder
+// (readyz reports not ready until the follower installs its bootstrapped
+// registry via SetRegistry) so the listener can come up — and answer
+// health probes — while the bootstrap is still fetching the snapshot.
+func NewReadOnly(leaderURL string, options ...contq.Option) *Server {
+	s := &Server{opts: options, journal: journal.New(), readOnly: true, leader: leaderURL}
+	s.reg = contq.New(graph.New(), s.registryOpts()...)
+	s.initMux()
+	return s
+}
+
+// SetRegistry atomically installs a replacement registry and its journal —
+// the follower's (re)bootstrap hook. The previous registry is closed, which
+// ends its SSE subscriptions; because leader and follower assign identical
+// sequence numbers, reconnecting clients resume against the new registry
+// with their existing Last-Event-ID.
+func (s *Server) SetRegistry(reg *contq.Registry, j *journal.Journal) {
+	s.mu.Lock()
+	old := s.reg
+	s.reg = reg
+	if j != nil {
+		s.journal = j
+	}
+	s.mu.Unlock()
+	if old != nil && old != reg {
+		old.Close()
+	}
+}
+
+// SetReadyCheck installs an additional readiness gate consulted by
+// /v1/readyz: a non-nil error answers 503 not_ready with the error text.
+// The follower uses it to report bootstrapping and replication lag.
+func (s *Server) SetReadyCheck(fn func() error) {
+	s.mu.Lock()
+	s.readyCheck = fn
+	s.mu.Unlock()
+}
+
+// SetStatsExtra installs a provider whose value is attached to the
+// /v1/stats document under "follower" — replication state next to the
+// registry's own counters.
+func (s *Server) SetStatsExtra(fn func() any) {
+	s.mu.Lock()
+	s.statsExtra = fn
+	s.mu.Unlock()
+}
+
 // initMux builds the route table: every route once under /v1 (the
 // canonical surface) and once at its original unversioned path as a
 // deprecated alias. A known path with the wrong method gets a 405
@@ -103,13 +160,16 @@ func (s *Server) initMux() {
 		methods map[string]http.HandlerFunc
 		v1Only  bool
 	}{
-		{path: "/graph", methods: map[string]http.HandlerFunc{"POST": s.loadGraph, "GET": s.graphInfo}},
+		{path: "/graph", methods: map[string]http.HandlerFunc{"POST": s.writable(s.loadGraph), "GET": s.graphInfo}},
 		{path: "/patterns", methods: map[string]http.HandlerFunc{"GET": s.listPatterns}},
-		{path: "/patterns/{id}", methods: map[string]http.HandlerFunc{"PUT": s.register, "DELETE": s.unregister}},
+		{path: "/patterns/{id}", methods: map[string]http.HandlerFunc{
+			"PUT": s.writable(s.register), "GET": s.patternDef, "DELETE": s.writable(s.unregister)}},
 		{path: "/patterns/{id}/result", methods: map[string]http.HandlerFunc{"GET": s.result}},
 		{path: "/patterns/{id}/stream", methods: map[string]http.HandlerFunc{"GET": s.stream}},
-		{path: "/updates", methods: map[string]http.HandlerFunc{"POST": s.updates}},
+		{path: "/updates", methods: map[string]http.HandlerFunc{"POST": s.writable(s.updates)}},
 		{path: "/commits", methods: map[string]http.HandlerFunc{"GET": s.commits}},
+		{path: "/commits/stream", methods: map[string]http.HandlerFunc{"GET": s.commitStream}, v1Only: true},
+		{path: "/snapshot", methods: map[string]http.HandlerFunc{"GET": s.snapshot}, v1Only: true},
 		{path: "/stats", methods: map[string]http.HandlerFunc{"GET": s.stats}},
 		{path: "/metricz", methods: map[string]http.HandlerFunc{"GET": s.metricz}, v1Only: true},
 		{path: "/healthz", methods: map[string]http.HandlerFunc{"GET": s.healthz}, v1Only: true},
@@ -132,6 +192,22 @@ func (s *Server) initMux() {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no route %s", r.URL.Path))
 	})
 	s.mux = mux
+}
+
+// writable guards a mutating route: on a read-only (follower) server the
+// request is rejected with a 403 read_only envelope whose leader field
+// names the instance that accepts writes — clients redirect mechanically.
+func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
+	if !s.readOnly {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusForbidden, ErrorBody{
+			Code:    CodeReadOnly,
+			Message: fmt.Sprintf("this instance is a read-only follower; write to the leader at %s", s.leader),
+			Leader:  s.leader,
+		})
+	}
 }
 
 // deprecated marks a legacy unversioned route: the same handler, plus the
@@ -181,7 +257,11 @@ func (s *Server) registry() *contq.Registry {
 }
 
 // Journal returns the server's journal (never nil; memory-only for New).
-func (s *Server) Journal() *journal.Journal { return s.journal }
+func (s *Server) Journal() *journal.Journal {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.journal
+}
 
 // Registry returns the server's current registry — for in-process
 // embedding and startup introspection. POST /v1/graph swaps it; re-read
@@ -240,9 +320,20 @@ func (s *Server) graphInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 // stats reports the registry snapshot: pattern count, committed sequence,
-// shared-graph size and the writer's cumulative coalescing counters.
+// shared-graph size and the writer's cumulative coalescing counters. On a
+// follower, the replication state rides along under "follower".
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.registry().Stats())
+	s.mu.RLock()
+	extra := s.statsExtra
+	s.mu.RUnlock()
+	doc := struct {
+		contq.Stats
+		Follower any `json:"follower,omitempty"`
+	}{Stats: s.registry().Stats()}
+	if extra != nil {
+		doc.Follower = extra()
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // healthz is the liveness probe: the process is up and serving HTTP.
@@ -251,16 +342,26 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // readyz is the readiness probe: the registry accepts writes and the
-// journal accepts appends. A closed registry (shutdown in progress) or a
+// journal accepts appends. A closed registry (shutdown in progress), a
 // broken journal (sticky append failure: commits would apply in memory
-// but stop being durable or replayable) answers 503, telling
+// but stop being durable or replayable), or a failing follower ready
+// check (bootstrapping, or lag beyond the bound) answers 503, telling
 // orchestrators and followers to route around this instance.
 func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	check := s.readyCheck
+	s.mu.RUnlock()
+	if check != nil {
+		if err := check(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, CodeNotReady, err)
+			return
+		}
+	}
 	if s.registry().Closed() {
 		writeError(w, http.StatusServiceUnavailable, CodeNotReady, errors.New("registry closed"))
 		return
 	}
-	if err := s.journal.Broken(); err != nil {
+	if err := s.Journal().Broken(); err != nil {
 		writeError(w, http.StatusServiceUnavailable, CodeNotReady,
 			fmt.Errorf("journal not accepting appends: %w", err))
 		return
@@ -506,4 +607,92 @@ func (s *Server) commits(w http.ResponseWriter, r *http.Request) {
 		out = append(out, map[string]any{"seq": rec.Seq, "updates": updatesOrEmpty(rec.Updates)})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"from": from, "head": reg.Seq(), "commits": out})
+}
+
+// snapshot serves a consistent full-state export: the canonical graph (as
+// its JSON wire document), the commit sequence it reflects, and every
+// registered pattern's portable definition — what a follower bootstraps
+// from when the commit tail it needs is already compacted.
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
+	g, seq, defs := s.registry().Export()
+	pats := make([]map[string]any, 0, len(defs))
+	for _, pd := range defs {
+		pats = append(pats, map[string]any{
+			"id": pd.ID, "kind": pd.Kind, "def": string(pd.Def), "reg_seq": pd.RegSeq,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "graph": g, "patterns": pats})
+}
+
+// patternDef serves one pattern's portable definition (its text-format
+// source, kind, and registration sequence) — how a follower's reconciler
+// mirrors a pattern it learned about from the leader's /v1/patterns list.
+func (s *Server) patternDef(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	pd, ok := s.registry().PatternDef(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("pattern %q not registered", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": pd.ID, "kind": pd.Kind, "def": string(pd.Def), "reg_seq": pd.RegSeq,
+	})
+}
+
+// commitStream serves the raw ΔG tail over SSE: one "head" frame naming
+// the sequence the stream starts after, then one "commit" frame per
+// committed batch — empty ones included, so the consumer's sequence stays
+// aligned with the leader's. With Last-Event-ID: N (or ?from=N) the
+// commits in (N, head] are backfilled from the journal ahead of the live
+// feed, one seq-contiguous stream. A range the journal no longer retains
+// answers 410 compacted before any frame is written — the signal to
+// re-bootstrap from /v1/snapshot.
+func (s *Server) commitStream(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	from, resume, err := resumeSeq(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSeq, err)
+		return
+	}
+	ctx := r.Context()
+	reg := s.registry()
+	var opts []contq.SubscribeOption
+	if resume {
+		opts = append(opts, contq.FromSeq(from))
+	}
+	sub, err := reg.SubscribeCommitsContext(ctx, opts...)
+	if err != nil {
+		status, code := classify(err, http.StatusInternalServerError, CodeInternal)
+		writeError(w, status, code, err)
+		return
+	}
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// The head frame tells a fresh consumer where the stream starts (its
+	// id seeds Last-Event-ID, so even an eventless disconnect resumes
+	// correctly) and doubles as the connection flush.
+	if err := sseEvent(w, flusher, "head", sub.Seq, map[string]any{"seq": sub.Seq}); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				return // registry swapped out or server closing
+			}
+			frame := map[string]any{"seq": ev.Seq, "updates": updatesOrEmpty(ev.Updates)}
+			if err := sseEvent(w, flusher, "commit", ev.Seq, frame); err != nil {
+				return
+			}
+		}
+	}
 }

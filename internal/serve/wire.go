@@ -50,9 +50,13 @@ const (
 	// CodeMethodNotAllowed reports a known route with the wrong method;
 	// the Allow header lists the methods the route accepts.
 	CodeMethodNotAllowed = "method_not_allowed"
-	// CodeNotReady is /v1/readyz's failure: the registry is closed or the
-	// journal stopped accepting appends.
+	// CodeNotReady is /v1/readyz's failure: the registry is closed, the
+	// journal stopped accepting appends, or a follower is bootstrapping or
+	// lagging beyond its bound.
 	CodeNotReady = "not_ready"
+	// CodeReadOnly reports a write against a follower; the envelope's
+	// leader field names the instance that accepts writes.
+	CodeReadOnly = "read_only"
 	// CodeJournalFailed reports a commit that was applied and published
 	// but could not be journaled — the envelope's seq carries the
 	// assigned sequence number; the state stands in memory but is not
@@ -62,11 +66,13 @@ const (
 	CodeInternal = "internal"
 )
 
-// ErrorBody is the v1 error envelope.
+// ErrorBody is the v1 error envelope. Leader appears only on read_only
+// failures: the base URL of the instance that accepts writes.
 type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Seq     uint64 `json:"seq,omitempty"`
+	Leader  string `json:"leader,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
