@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"gpm"
+	"gpm/internal/obs/trace"
 )
 
 // Client talks to one gpserve instance. Construct with New; the zero
@@ -43,6 +44,7 @@ import (
 type Client struct {
 	base       string
 	hc         *http.Client
+	tracer     *trace.Tracer // client-side spans (off by default)
 	backoffMin time.Duration // Stream reconnect backoff floor
 	backoffMax time.Duration // ... and ceiling
 }
@@ -57,6 +59,23 @@ type Option func(*Client)
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
+
+// WithTracer records client-side spans into t: Apply opens a root span
+// when its context carries none (so a bare Apply still starts a trace the
+// server continues), and Stream/CommitStream close each event's delivery
+// span — its duration is the event's age when the consumer receives it.
+// The default tracer is off: the client then only forwards traceparents
+// it finds in call contexts, recording nothing itself.
+func WithTracer(t *trace.Tracer) Option {
+	return func(c *Client) {
+		if t != nil {
+			c.tracer = t
+		}
+	}
+}
+
+// Tracer returns the client's tracer (never nil; off unless WithTracer).
+func (c *Client) Tracer() *trace.Tracer { return c.tracer }
 
 // WithBackoff bounds Stream's reconnect backoff (default 100ms..5s,
 // doubling per consecutive failure, reset by a successful connection).
@@ -80,6 +99,7 @@ func New(baseURL string, options ...Option) *Client {
 	c := &Client{
 		base:       baseURL,
 		hc:         &http.Client{},
+		tracer:     trace.Default(),
 		backoffMin: 100 * time.Millisecond,
 		backoffMax: 5 * time.Second,
 	}
@@ -102,6 +122,9 @@ type APIError struct {
 	// Leader is set on code "read_only": the base URL of the instance
 	// that accepts writes (this one is a follower).
 	Leader string
+	// TraceID joins the failure to its server-side trace (/v1/tracez)
+	// when the request was sampled; "" otherwise.
+	TraceID string
 }
 
 func (e *APIError) Error() string {
@@ -157,9 +180,10 @@ func apiError(resp *http.Response) error {
 		Message string `json:"message"`
 		Seq     uint64 `json:"seq"`
 		Leader  string `json:"leader"`
+		TraceID string `json:"trace_id"`
 	}
 	if err := json.Unmarshal(body, &env); err == nil && env.Code != "" {
-		e.Code, e.Message, e.Seq, e.Leader = env.Code, env.Message, env.Seq, env.Leader
+		e.Code, e.Message, e.Seq, e.Leader, e.TraceID = env.Code, env.Message, env.Seq, env.Leader, env.TraceID
 	} else {
 		e.Code, e.Message = CodeInternal, string(bytes.TrimSpace(body))
 	}
@@ -184,6 +208,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// A span context in the call context rides along as the W3C
+	// traceparent header — the single injection point for every endpoint.
+	if sc := trace.FromContext(ctx); sc.Valid() {
+		req.Header.Set("traceparent", sc.Traceparent())
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -226,10 +255,30 @@ type Result struct {
 	Pairs []gpm.Pair `json:"pairs"`
 }
 
-// Commit is one committed net update batch of the raw ΔG tail.
+// Commit is one committed net update batch of the raw ΔG tail. Trace is
+// the commit span's W3C traceparent ("" when the commit was unsampled) —
+// what a follower hands to ApplyReplicatedTrace so one trace spans nodes.
 type Commit struct {
 	Seq     uint64       `json:"seq"`
 	Updates []gpm.Update `json:"updates"`
+	Trace   string       `json:"trace,omitempty"`
+}
+
+// deliverSpan opens the client-side delivery span for one streamed event:
+// parented on the commit span named by tp, starting at the server-side
+// publish timestamp, so its duration is the event's age when the consumer
+// receives it. Nil (a no-op) for unsampled or backfilled events.
+func (c *Client) deliverSpan(tp string, at time.Time, key, val string) *trace.Span {
+	if at.IsZero() {
+		return nil
+	}
+	sc, ok := trace.Parse(tp)
+	if !ok {
+		return nil
+	}
+	sp := c.tracer.StartSpanAt(sc, "client.deliver", at)
+	sp.SetAttr(key, val)
+	return sp
 }
 
 // CommitTail is GET /v1/commits' response: the committed batches with
@@ -295,14 +344,30 @@ func (c *Client) Result(ctx context.Context, id string) (Result, error) {
 // Apply commits one batch of edge updates and returns the commit's
 // sequence number. An *APIError with code "journal_failed" means the
 // batch WAS committed (at the error's Seq) but is not durable.
+//
+// When the context carries no span and the client's tracer samples (see
+// WithTracer), Apply opens a root span — the trace the server's ingest,
+// commit pipeline, SSE delivery and any follower's replicated apply all
+// hang off. A span already in ctx is forwarded instead, untouched.
 func (c *Client) Apply(ctx context.Context, ups []gpm.Update) (uint64, error) {
 	if ups == nil {
 		ups = []gpm.Update{} // an empty batch is valid; null is not a batch
+	}
+	var sp *trace.Span
+	if !trace.FromContext(ctx).Valid() {
+		if sp = c.tracer.StartRoot("client.apply"); sp != nil {
+			sp.SetAttr("updates", len(ups))
+			ctx = trace.NewContext(ctx, sp.Context())
+			defer sp.End()
+		}
 	}
 	var out struct {
 		Seq uint64 `json:"seq"`
 	}
 	err := c.do(ctx, http.MethodPost, "/v1/updates", ups, &out)
+	if err == nil {
+		sp.SetSeq(out.Seq)
+	}
 	return out.Seq, err
 }
 

@@ -26,11 +26,17 @@ const (
 	EventCommit CommitEventType = "commit"
 )
 
-// CommitStreamEvent is one typed commit-stream event.
+// CommitStreamEvent is one typed commit-stream event. Trace is the
+// commit span's W3C traceparent and At its publish timestamp (both zero
+// for head frames, unsampled commits, and backfilled events) — a
+// follower passes Trace to ApplyReplicatedTrace so the leader's trace
+// continues across the topology.
 type CommitStreamEvent struct {
 	Type    CommitEventType
 	Seq     uint64
 	Updates []gpm.Update // commit only
+	Trace   string
+	At      time.Time
 }
 
 // CommitStream is a live raw-ΔG subscription to GET /v1/commits/stream —
@@ -208,6 +214,8 @@ func (cc *commitConn) run(ctx context.Context, ch chan<- CommitStreamEvent, resp
 type commitFrame struct {
 	Seq     uint64       `json:"seq"`
 	Updates []gpm.Update `json:"updates"`
+	Trace   string       `json:"trace"`
+	At      int64        `json:"at"` // publish time, UnixNano; 0 when absent
 }
 
 // consume reads SSE frames off one connection until it drops, delivering
@@ -238,8 +246,10 @@ func (cc *commitConn) consume(ctx context.Context, ch chan<- CommitStreamEvent, 
 				continue
 			}
 			cc.st.recordEvent(ev.Seq)
+			ds := cc.c.deliverSpan(ev.Trace, ev.At, "stream", "commits")
 			select {
 			case ch <- ev:
+				ds.End()
 				delivered = true
 			case <-ctx.Done():
 				return delivered, nil
@@ -280,7 +290,11 @@ func (cc *commitConn) parse(event, data string) (ev CommitStreamEvent, ok bool, 
 			return ev, false, nil // replayed overlap: drop
 		}
 		cc.lastSeq, cc.haveSeq = f.Seq, true
-		return CommitStreamEvent{Type: EventCommit, Seq: f.Seq, Updates: f.Updates}, true, nil
+		ev = CommitStreamEvent{Type: EventCommit, Seq: f.Seq, Updates: f.Updates, Trace: f.Trace}
+		if f.At != 0 {
+			ev.At = time.Unix(0, f.At)
+		}
+		return ev, true, nil
 	default:
 		return ev, false, nil // unknown event types are ignored (forward compat)
 	}

@@ -39,6 +39,11 @@ type MatchEvent struct {
 	Pairs   []gpm.Pair // snapshot only
 	Added   []gpm.Pair // delta only
 	Removed []gpm.Pair // delta only
+	// Trace is the producing commit span's W3C traceparent and At its
+	// publish timestamp; both are zero for snapshots, unsampled commits,
+	// and backfilled (resumed) deltas.
+	Trace string
+	At    time.Time
 }
 
 // StreamOption configures a Stream call.
@@ -338,6 +343,8 @@ type deltaFrame struct {
 	Seq     uint64     `json:"seq"`
 	Added   []gpm.Pair `json:"added"`
 	Removed []gpm.Pair `json:"removed"`
+	Trace   string     `json:"trace"`
+	At      int64      `json:"at"` // publish time, UnixNano; 0 when absent
 }
 
 // consume reads SSE frames off one connection until it drops, delivering
@@ -374,8 +381,12 @@ func (cs *streamConn) consume(ctx context.Context, ch chan<- MatchEvent, resp *h
 			// the event already sees it in Stats; at most one in-flight
 			// event is over-counted if the stream closes mid-send.
 			cs.st.recordEvent(ev.Seq)
+			// The delivery span ends once the consumer has the event, so
+			// its duration is the end-to-end event age at this client.
+			ds := cs.c.deliverSpan(ev.Trace, ev.At, "pattern", ev.Pattern)
 			select {
 			case ch <- ev:
+				ds.End()
 				delivered = true
 			case <-ctx.Done():
 				return delivered, nil
@@ -414,7 +425,11 @@ func (cs *streamConn) parse(event, data string) (ev MatchEvent, ok bool, err err
 			return ev, false, nil // replayed overlap: drop
 		}
 		cs.lastSeq, cs.haveSeq = f.Seq, true
-		return MatchEvent{Type: EventDelta, Pattern: f.ID, Seq: f.Seq, Added: f.Added, Removed: f.Removed}, true, nil
+		ev = MatchEvent{Type: EventDelta, Pattern: f.ID, Seq: f.Seq, Added: f.Added, Removed: f.Removed, Trace: f.Trace}
+		if f.At != 0 {
+			ev.At = time.Unix(0, f.At)
+		}
+		return ev, true, nil
 	default:
 		return ev, false, nil // unknown event types are ignored (forward compat)
 	}

@@ -37,6 +37,7 @@ var drivers = map[string]func(exp.Config) exp.Table{
 	"20a": exp.Fig20a, "20b": exp.Fig20b, "20c": exp.Fig20c, "20d": exp.Fig20d,
 	"20e": exp.Fig20e, "20f": exp.Fig20f,
 	"net1":   exp.FigNet1,
+	"trace1": exp.FigTrace1,
 	"table1": exp.Table1Witnesses,
 }
 

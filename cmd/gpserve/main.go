@@ -31,13 +31,16 @@
 // serve container orchestration and the future follower mode.
 //
 // Observability: logs are structured (log/slog), one line per request with
-// route, status and duration, plus lifecycle events (startup, recovery,
-// shutdown); -log-format selects text or JSON. Commits slower than
-// -slow-commit log a warning carrying the full per-stage breakdown
-// (validate, network, repair, journal, publish — plus the slowest
-// pattern). GET /v1/metricz exposes the same telemetry as Prometheus text
-// for scraping, and -pprof ADDR serves net/http/pprof on a separate
-// listener, kept off the public API surface.
+// route, status, bytes, duration and (when present) the request's trace
+// ID, plus lifecycle events (startup, recovery, shutdown); -log-format
+// selects text or JSON. Commits slower than -slow-commit log a warning
+// carrying the full per-stage breakdown (validate, network, repair,
+// journal, publish — plus the slowest pattern) and, when the commit was
+// sampled, its trace ID and span tree. GET /v1/metricz exposes the same
+// telemetry as Prometheus text for scraping, GET /v1/tracez serves the
+// recent commit traces (-trace-sample picks the sampling policy: off,
+// always, ratio:F, slow:DUR), and -pprof ADDR serves net/http/pprof on a
+// separate listener, kept off the public API surface.
 //
 // With -follow URL gpserve runs as a read-only replica of the leader at
 // URL: it bootstraps from the leader's snapshot, tails its raw ΔG commit
@@ -79,6 +82,7 @@ import (
 	"gpm/internal/follow"
 	"gpm/internal/graph"
 	"gpm/internal/journal"
+	"gpm/internal/obs/trace"
 	"gpm/internal/par"
 	"gpm/internal/serve"
 )
@@ -100,6 +104,7 @@ func main() {
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		slow      = flag.Duration("slow-commit", 500*time.Millisecond, "log a warning with the per-stage breakdown for commits slower than this (0 disables)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (separate listener; empty disables)")
+		sample    = flag.String("trace-sample", "always", "commit tracing: off, always, ratio:F (deterministic by trace ID, 0..1), or slow:DUR (retain traces with a span at least DUR)")
 
 		followURL       = flag.String("follow", "", "run as a read-only follower replicating the leader at this base URL")
 		followLagMax    = flag.Uint64("follow-lag-max", 1024, "report not-ready when trailing the leader by more than this many commits (0 = lag never gates readiness)")
@@ -126,14 +131,20 @@ func main() {
 
 	par.SetDefaultWorkers(*workers)
 
-	regOpts := []contq.Option{contq.WithWorkers(*workers)}
+	tcfg, err := trace.ParseSampling(*sample)
+	if err != nil {
+		fatal("bad -trace-sample", "got", *sample, "error", err)
+	}
+	tracer := trace.New(tcfg)
+
+	regOpts := []contq.Option{contq.WithWorkers(*workers), contq.WithTracer(tracer)}
 	if *slow > 0 {
 		threshold := *slow
 		regOpts = append(regOpts, contq.WithCommitObserver(func(ct contq.CommitTiming) {
 			if ct.Total < threshold {
 				return
 			}
-			logger.Warn("slow commit",
+			args := []any{
 				"seq", ct.Seq,
 				"total_ms", ms(ct.Total),
 				"validate_ms", ms(ct.Validate),
@@ -146,7 +157,17 @@ func main() {
 				"patterns", ct.Patterns,
 				"slowest_pattern", ct.SlowestPattern,
 				"slowest_repair_ms", ms(ct.SlowestRepair),
-			)
+			}
+			// A sampled commit carries its traceparent: attach the trace ID
+			// (the /v1/tracez lookup key) and the full span tree, so one log
+			// line shows where inside the commit the time went.
+			if sc, ok := trace.Parse(ct.Trace); ok {
+				args = append(args, "trace_id", sc.TraceID.String())
+				if snap, ok := tracer.Lookup(sc.TraceID.String()); ok {
+					args = append(args, "spans", snap.Spans)
+				}
+			}
+			logger.Warn("slow commit", args...)
 		}))
 	}
 
@@ -163,10 +184,14 @@ func main() {
 		}
 		srv = serve.NewReadOnly(*followURL, regOpts...)
 		fl = follow.New(srv, follow.Config{
-			Leader:    *followURL,
-			MaxLag:    *followLagMax,
-			Reconcile: *followReconcile,
-			Logger:    logger,
+			Leader: *followURL,
+			MaxLag: *followLagMax,
+			// Rebootstrapped registries must keep the worker/tracer/observer
+			// setup of the placeholder one, or a resync would silently shed
+			// the follower's observability.
+			RegistryOptions: regOpts,
+			Reconcile:       *followReconcile,
+			Logger:          logger,
 		})
 		logger.Info("follower mode", "leader", *followURL, "lag_max", *followLagMax)
 	} else if *jdir != "" {

@@ -56,6 +56,7 @@ import (
 	"gpm/internal/graph"
 	"gpm/internal/journal"
 	"gpm/internal/obs"
+	"gpm/internal/obs/trace"
 	"gpm/internal/par"
 	"gpm/internal/pattern"
 	"gpm/internal/rel"
@@ -113,6 +114,10 @@ type Event struct {
 	Seq     uint64
 	Delta   rel.Delta
 	At      time.Time
+	// Trace is the W3C traceparent of the commit span that produced the
+	// delta ("" when the commit was not sampled), so delivery layers can
+	// close a delivery span on the same trace.
+	Trace string
 }
 
 // Info describes one registered pattern.
@@ -215,6 +220,15 @@ type Registry struct {
 	met       *metrics
 	commitObs func(CommitTiming)
 
+	// tracer records per-commit span trees: one trace follows a batch
+	// from the caller's ingest span through queue wait, every commit
+	// stage, and publish — and, via the traceparent threaded onto the
+	// journal record and commit/delta events, across the replication
+	// topology. trace.Default() (off) unless WithTracer installs a
+	// sampling tracer, so the untraced hot path costs one nil check per
+	// span site.
+	tracer *trace.Tracer
+
 	// Resume-clone cache: one immutable graph clone per head sequence,
 	// shared by every FromSeq resume at that head so a reconnect storm
 	// pays a single O(|G|) copy under the writer lock instead of one per
@@ -239,6 +253,7 @@ type Registry struct {
 type applyReq struct {
 	ups  []graph.Update
 	enq  time.Time
+	sc   trace.SpanContext // the caller's span (ApplyContext), zero when untraced
 	seq  uint64
 	err  error
 	done chan struct{}
@@ -274,6 +289,15 @@ func WithEngineWorkers(n int) Option {
 	return func(r *Registry) { r.engineW = n }
 }
 
+// WithTracer directs the registry's commit spans into t instead of the
+// process-wide trace.Default() (which is off). The commit pipeline opens
+// one span per stage under the caller's trace — or a fresh root trace
+// when the tracer's mode samples it — and the resulting traceparent
+// rides the journal record and every published event.
+func WithTracer(t *trace.Tracer) Option {
+	return func(r *Registry) { r.tracer = t }
+}
+
 // WithoutNetwork disables the shared sub-pattern evaluation network:
 // every pattern gets a private engine, the organisation the registry had
 // before the network existed. Mainly for equivalence tests and A/B
@@ -293,6 +317,9 @@ func New(g *graph.Graph, options ...Option) *Registry {
 	}
 	if r.obsReg == nil {
 		r.obsReg = obs.Default()
+	}
+	if r.tracer == nil {
+		r.tracer = trace.Default()
 	}
 	r.met = newMetrics(r.obsReg)
 	if !r.noNet {
@@ -456,7 +483,7 @@ func (r *Registry) ApplyContext(ctx context.Context, ups []graph.Update) (uint64
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	req := &applyReq{ups: ups, enq: time.Now(), done: make(chan struct{})}
+	req := &applyReq{ups: ups, enq: time.Now(), sc: trace.FromContext(ctx), done: make(chan struct{})}
 	r.qmu.Lock()
 	r.queue = append(r.queue, req)
 	drain := !r.draining
@@ -603,6 +630,12 @@ func (r *Registry) commit(batch []*applyReq) {
 	for _, req := range batch {
 		if !req.enq.IsZero() {
 			r.met.queueWait.ObserveDuration(start.Sub(req.enq))
+			// A traced caller's queue wait becomes a span under its own
+			// ingest span: the time its batch sat behind the in-flight
+			// commit before this drain picked it up.
+			if qs := r.tracer.StartSpanAt(req.sc, "queue.wait", req.enq); qs != nil {
+				qs.EndAt(start)
+			}
 		}
 	}
 	r.met.drainSize.Observe(float64(len(batch)))
@@ -629,11 +662,37 @@ func (r *Registry) commit(batch []*applyReq) {
 	r.met.drainUps.Observe(float64(len(effective)))
 	ct.Batches, ct.Updates = len(valid), len(effective)
 
+	// The commit span continues the first traced caller's trace; every
+	// other traced caller coalesced into this drain becomes a span link,
+	// so a merged batch still connects back to each origin. With no
+	// traced caller the tracer's own mode decides (a fresh root trace,
+	// or nil — the no-op span — when unsampled).
+	var parent trace.SpanContext
+	for _, req := range valid {
+		if req.sc.Valid() && req.sc.Sampled {
+			parent = req.sc
+			break
+		}
+	}
+	var cspan *trace.Span
+	if parent.Valid() {
+		cspan = r.tracer.StartSpanAt(parent, "commit", start)
+		for _, req := range valid {
+			if req.sc.Valid() && req.sc != parent {
+				cspan.AddLink(req.sc)
+			}
+		}
+	} else {
+		cspan = r.tracer.StartRootAt("commit", start)
+	}
+	cspan.SetAttr("batches", len(valid))
+	cspan.SetAttr("submitted_updates", len(combined))
+
 	// The committed callback stamps every caller's seq the instant it is
 	// assigned — before journaling and publishing — so a failure (or panic)
 	// in any later step surfaces as "committed at seq N but X failed",
 	// never as the seq-0 signal that means the batch was rejected.
-	_, jerr, err := r.commitEffective(effective, len(valid), len(combined), &ct, start, func(seq uint64) {
+	_, jerr, err := r.commitEffective(effective, len(valid), len(combined), &ct, start, cspan, func(seq uint64) {
 		for _, req := range valid {
 			req.seq = seq
 		}
@@ -667,7 +726,20 @@ func (r *Registry) commit(batch []*applyReq) {
 // returned jerr is a journal append failure — the commit still stands in
 // memory and was published; err means the commit did not happen (the
 // canonical graph rejected the batch) and no sequence was consumed.
-func (r *Registry) commitEffective(effective []graph.Update, applies, submitted int, ct *CommitTiming, start time.Time, committed func(seq uint64)) (seq uint64, jerr, err error) {
+//
+// cspan is the commit's span (nil when unsampled); commitEffective owns
+// it from here: it hangs one child span per stage off it, stamps the
+// sequence, threads its traceparent onto the journal record and every
+// published event, and ends it.
+func (r *Registry) commitEffective(effective []graph.Update, applies, submitted int, ct *CommitTiming, start time.Time, cspan *trace.Span, committed func(seq uint64)) (seq uint64, jerr, err error) {
+	cspan.SetAttr("effective_updates", len(effective))
+	if ct.Validate > 0 {
+		// Validation ran in the caller before the span existed; backdate
+		// its stage span so the tree covers the whole pipeline.
+		if vs := r.tracer.StartSpanAt(cspan.Context(), "stage.validate", start); vs != nil {
+			vs.EndAt(start.Add(ct.Validate))
+		}
+	}
 	// Repair the shared evaluation network once for the whole commit,
 	// before the per-pattern fan-out: every network-backed matcher's apply
 	// below just reads its pattern's cached (remapped) delta. A shared node
@@ -676,9 +748,20 @@ func (r *Registry) commitEffective(effective []graph.Update, applies, submitted 
 	// exactly like a private engine that panicked.
 	if r.net != nil && len(effective) > 0 {
 		netStart := time.Now()
+		nspan := r.tracer.StartSpanAt(cspan.Context(), "stage.network", netStart)
+		var savedBefore int64
+		if nspan != nil {
+			savedBefore = r.net.Stats().RepairsSaved
+		}
 		r.net.Apply(effective)
 		ct.Network = time.Since(netStart)
 		r.met.network.ObserveDuration(ct.Network)
+		if nspan != nil {
+			st := r.net.Stats()
+			nspan.SetAttr("repairs_saved", st.RepairsSaved-savedBefore)
+			nspan.SetAttr("join_nodes", st.JoinNodes)
+			nspan.EndAt(netStart.Add(ct.Network))
+		}
 	}
 
 	// Fan the effective ΔG out to every engine: they read the canonical
@@ -696,6 +779,7 @@ func (r *Registry) commitEffective(effective []graph.Update, applies, submitted 
 	ct.Patterns = len(regs)
 	if len(effective) > 0 {
 		repairStart := time.Now()
+		rspan := r.tracer.StartSpanAt(cspan.Context(), "stage.repair", repairStart)
 		par.For(len(regs), r.workers, func(_, i int) {
 			defer func() {
 				if rec := recover(); rec != nil {
@@ -716,6 +800,14 @@ func (r *Registry) commitEffective(effective []graph.Update, applies, submitted 
 				ct.SlowestRepair, ct.SlowestPattern = repairDur[i], reg.id
 			}
 		}
+		if rspan != nil {
+			rspan.SetAttr("patterns_repaired", len(regs))
+			if ct.SlowestPattern != "" {
+				rspan.SetAttr("slowest_pattern", ct.SlowestPattern)
+				rspan.SetAttr("slowest_repair_ms", float64(ct.SlowestRepair)/float64(time.Millisecond))
+			}
+			rspan.EndAt(repairStart.Add(ct.Repair))
+		}
 	}
 
 	r.mu.Lock()
@@ -724,6 +816,8 @@ func (r *Registry) commitEffective(effective []graph.Update, applies, submitted 
 			// Unreachable after validation + coalescing on the writer path;
 			// on the replication path it means the replica diverged.
 			r.mu.Unlock()
+			cspan.SetAttr("error", aerr.Error())
+			cspan.End()
 			return 0, nil, fmt.Errorf("contq: canonical graph diverged: %w", aerr)
 		}
 	}
@@ -734,6 +828,8 @@ func (r *Registry) commitEffective(effective []graph.Update, applies, submitted 
 	r.upsSubmitted += uint64(submitted)
 	r.upsApplied += uint64(len(effective))
 	r.mu.Unlock()
+	cspan.SetSeq(seq)
+	tp := cspan.Traceparent()
 	if committed != nil {
 		committed(seq)
 	}
@@ -748,8 +844,10 @@ func (r *Registry) commitEffective(effective []graph.Update, applies, submitted 
 	// stands in memory but is not durable — and the registry keeps serving.
 	if r.journal != nil {
 		jStart := time.Now()
-		if aerr := r.journal.AppendCommit(seq, effective); aerr != nil {
+		jspan := r.tracer.StartSpanAt(cspan.Context(), "stage.journal", jStart)
+		if aerr := r.journal.AppendCommitTrace(seq, effective, tp); aerr != nil {
 			jerr = fmt.Errorf("contq: commit %d applied but not journaled: %w", seq, aerr)
+			jspan.SetAttr("error", aerr.Error())
 		} else if r.journal.SnapshotDue() {
 			// Checkpoint under the writer lock: the canonical graph is
 			// stable here, and blocking the next commit bounds how far the
@@ -758,17 +856,24 @@ func (r *Registry) commitEffective(effective []graph.Update, applies, submitted 
 		}
 		ct.Journal = time.Since(jStart)
 		r.met.journal.ObserveDuration(ct.Journal)
+		if jspan != nil {
+			jspan.EndAt(jStart.Add(ct.Journal))
+		}
 	}
 	pubStart := time.Now()
-	r.publishCommit(CommitEvent{Seq: seq, Updates: effective, At: pubStart})
+	pspan := r.tracer.StartSpanAt(cspan.Context(), "stage.publish", pubStart)
+	r.publishCommit(CommitEvent{Seq: seq, Updates: effective, At: pubStart, Trace: tp})
 	for i, reg := range regs {
 		if repairErr[i] != nil {
 			continue
 		}
-		reg.publish(Event{Pattern: reg.id, Seq: seq, Delta: deltas[i], At: pubStart})
+		reg.publish(Event{Pattern: reg.id, Seq: seq, Delta: deltas[i], At: pubStart, Trace: tp})
 	}
 	ct.Publish = time.Since(pubStart)
 	r.met.publish.ObserveDuration(ct.Publish)
+	if pspan != nil {
+		pspan.EndAt(pubStart.Add(ct.Publish))
+	}
 	// Evict patterns whose repair panicked: their match state is
 	// undefined, so they must not serve another result or delta. Their
 	// subscribers' channels close (the unregistered signal) and the
@@ -779,13 +884,22 @@ func (r *Registry) commitEffective(effective []graph.Update, applies, submitted 
 		}
 	}
 	ct.Seq, ct.Total = seq, time.Since(start)
+	ct.Trace = tp
 	r.met.total.ObserveDuration(ct.Total)
 	r.met.commits.Inc()
 	r.met.applies.Add(uint64(applies))
+	cspan.End()
 	if r.commitObs != nil {
 		r.commitObs(*ct)
 	}
 	return seq, jerr, nil
+}
+
+// Tracer returns the tracer recording this registry's commit spans —
+// trace.Default() (off) unless WithTracer installed one. Servers render
+// its retained traces (see GET /v1/tracez).
+func (r *Registry) Tracer() *trace.Tracer {
+	return r.tracer
 }
 
 // evictLocked removes a pattern whose engine is no longer trustworthy.

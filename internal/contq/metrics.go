@@ -114,6 +114,11 @@ type CommitTiming struct {
 	// longest this commit (empty when nothing was repaired).
 	SlowestPattern string
 	SlowestRepair  time.Duration
+
+	// Trace is the W3C traceparent of the commit's span ("" when the
+	// commit was not sampled) — the key a slow-commit logger uses to pull
+	// the full span tree out of the registry's tracer.
+	Trace string
 }
 
 // WithMetrics directs the registry's instruments into reg instead of the

@@ -176,7 +176,7 @@ func (r *Registry) backfill(ctx context.Context, reg *registration, base *graph.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ev := Event{Pattern: reg.id, Seq: rec.Seq}
+		ev := Event{Pattern: reg.id, Seq: rec.Seq, Trace: rec.Trace}
 		if len(rec.Updates) > 0 {
 			ev.Delta = m.apply(rec.Updates)
 			// The shared-storage protocol: the engine dropped its overlay,

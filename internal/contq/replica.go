@@ -8,6 +8,7 @@ import (
 
 	"gpm/internal/graph"
 	"gpm/internal/journal"
+	"gpm/internal/obs/trace"
 )
 
 // This file is the replica side of follower mode (internal/follow): a
@@ -99,6 +100,17 @@ func (r *Registry) RegisterDef(pd journal.PatternDef) error {
 // failure is returned but the commit still stands in memory, exactly as on
 // the leader's write path.
 func (r *Registry) ApplyReplicated(seq uint64, ups []graph.Update) error {
+	return r.ApplyReplicatedTrace(seq, ups, "")
+}
+
+// ApplyReplicatedTrace is ApplyReplicated carrying the leader commit
+// span's W3C traceparent (from the commit-stream frame or journal
+// record). When the replica's tracer samples, the replicated commit's
+// span tree parents onto the leader's commit span, so a single trace ID
+// links leader ingest, leader commit, and the follower's apply — "" (or
+// a tracer that is off) replicates untraced, byte-for-byte the same
+// pipeline.
+func (r *Registry) ApplyReplicatedTrace(seq uint64, ups []graph.Update, traceparent string) error {
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 	if r.closed {
@@ -118,7 +130,12 @@ func (r *Registry) ApplyReplicated(seq uint64, ups []graph.Update) error {
 	ct.Validate = time.Since(start)
 	r.met.validate.ObserveDuration(ct.Validate)
 	ct.Batches, ct.Updates = 1, len(ups)
-	_, jerr, err := r.commitEffective(ups, 1, len(ups), &ct, start, nil)
+	var cspan *trace.Span
+	if sc, ok := trace.Parse(traceparent); ok {
+		cspan = r.tracer.StartSpanAt(sc, "replica.apply", start)
+		cspan.SetAttr("updates", len(ups))
+	}
+	_, jerr, err := r.commitEffective(ups, 1, len(ups), &ct, start, cspan, nil)
 	if err != nil {
 		return fmt.Errorf("contq: replica diverged from leader at seq %d: %w", seq, err)
 	}

@@ -19,11 +19,14 @@ import (
 // CommitEvent is one committed net update batch ΔG. Updates is shared
 // with the registry's journal — subscribers must not mutate it. At is the
 // publish timestamp (zero for backfilled events, which are historical by
-// definition).
+// definition). Trace is the W3C traceparent of the commit span that
+// produced the batch ("" when unsampled) — the thread a follower's
+// ApplyReplicatedTrace continues, so one trace spans the topology.
 type CommitEvent struct {
 	Seq     uint64
 	Updates []graph.Update
 	At      time.Time
+	Trace   string
 }
 
 // CommitSub is one subscriber's view of the commit stream. Every commit
@@ -269,7 +272,7 @@ func (r *Registry) SubscribeCommitsContext(ctx context.Context, options ...Subsc
 	}
 	evs := make([]CommitEvent, 0, len(recs))
 	for _, rec := range recs {
-		evs = append(evs, CommitEvent{Seq: rec.Seq, Updates: rec.Updates})
+		evs = append(evs, CommitEvent{Seq: rec.Seq, Updates: rec.Updates, Trace: rec.Trace})
 	}
 	s.prepend(evs)
 	s.start()

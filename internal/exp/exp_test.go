@@ -19,8 +19,9 @@ func TestEveryDriverProducesRows(t *testing.T) {
 		"Fig19a": Fig19a, "Fig19b": Fig19b, "Fig19c": Fig19c, "Fig19d": Fig19d,
 		"Fig20a": Fig20a, "Fig20b": Fig20b, "Fig20c": Fig20c, "Fig20d": Fig20d,
 		"Fig20e": Fig20e, "Fig20f": Fig20f,
-		"FigNet1": FigNet1,
-		"Table1":  Table1Witnesses,
+		"FigNet1":   FigNet1,
+		"FigTrace1": FigTrace1,
+		"Table1":    Table1Witnesses,
 	}
 	for name, fn := range drivers {
 		tab := fn(cfg)
@@ -90,6 +91,32 @@ func TestNetworkFigureShape(t *testing.T) {
 			t.Errorf("%s patterns: repairs saved %d did not grow (prev %d)", row[0], saved, prevSaved)
 		}
 		prevSaved = saved
+	}
+}
+
+func TestTracingFigureShape(t *testing.T) {
+	tab := FigTrace1(tiny())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 sampling rows, got %d", len(tab.Rows))
+	}
+	retained := make(map[string]int, 3)
+	for _, row := range tab.Rows {
+		var n int
+		if _, err := fmt.Sscan(row[4], &n); err != nil {
+			t.Fatalf("bad retained count %q", row[4])
+		}
+		retained[row[0]] = n
+	}
+	// Off must record nothing (the gated fast path); always retains one
+	// trace per commit chunk.
+	if retained["off"] != 0 {
+		t.Errorf("off retained %d traces, want 0", retained["off"])
+	}
+	if retained["always"] != traceChunks {
+		t.Errorf("always retained %d traces, want %d", retained["always"], traceChunks)
+	}
+	if r := retained["ratio:0.1"]; r <= 0 || r >= traceChunks {
+		t.Errorf("ratio retained %d traces, want strictly between 0 and %d", r, traceChunks)
 	}
 }
 

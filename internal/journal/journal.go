@@ -77,6 +77,7 @@ type Record struct {
 	Seq  uint64
 
 	Updates []graph.Update // RecCommit: the net update batch
+	Trace   string         // RecCommit: W3C traceparent of the commit span, "" when unsampled
 
 	ID   string // RecRegister / RecUnregister
 	Kind string // RecRegister
@@ -85,10 +86,14 @@ type Record struct {
 
 // Commit is one committed batch as served by Commits/Replay: the sequence
 // number and the net effective ΔG the engines were fanned. Updates is
-// shared with the journal's ring — callers must not mutate it.
+// shared with the journal's ring — callers must not mutate it. Trace is
+// the W3C traceparent of the commit span that produced the batch ("" when
+// the commit was not sampled), so replicas and resumed tails can continue
+// the same trace.
 type Commit struct {
 	Seq     uint64
 	Updates []graph.Update
+	Trace   string
 }
 
 // PatternDef is one standing pattern inside a snapshot: its id, engine
@@ -246,6 +251,13 @@ func New(options ...Option) *Journal {
 // gapped log would let Replay/Recover silently skip a commit. The journal
 // serves its intact prefix until the process restarts from it.
 func (j *Journal) AppendCommit(seq uint64, ups []graph.Update) error {
+	return j.AppendCommitTrace(seq, ups, "")
+}
+
+// AppendCommitTrace is AppendCommit carrying the commit span's W3C
+// traceparent, persisted on the record so replay and follower bootstrap
+// can continue the same trace ("" records no trace).
+func (j *Journal) AppendCommitTrace(seq uint64, ups []graph.Update, trace string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -260,7 +272,7 @@ func (j *Journal) AppendCommit(seq uint64, ups []graph.Update) error {
 		return err
 	}
 	j.lsn++
-	rec := Record{Type: RecCommit, LSN: j.lsn, Seq: seq, Updates: ups}
+	rec := Record{Type: RecCommit, LSN: j.lsn, Seq: seq, Updates: ups, Trace: trace}
 	if err := j.writeDurable(&rec); err != nil {
 		j.lsn-- // the failed frame was rolled back (or the segment poisoned)
 		j.lastErr = err
@@ -271,7 +283,7 @@ func (j *Journal) AppendCommit(seq uint64, ups []graph.Update) error {
 	if !j.haveOldest {
 		j.oldestSeq, j.haveOldest = seq, true
 	}
-	j.ring = append(j.ring, ringEntry{lsn: j.lsn, c: Commit{Seq: seq, Updates: ups}})
+	j.ring = append(j.ring, ringEntry{lsn: j.lsn, c: Commit{Seq: seq, Updates: ups, Trace: trace}})
 	j.trimRing()
 	j.commitCount++
 	j.commitsSinceSnap++
@@ -380,7 +392,7 @@ func (j *Journal) Replay(afterLSN uint64, fn func(Record) error) error {
 			if e.lsn <= afterLSN {
 				continue
 			}
-			if err := fn(Record{Type: RecCommit, LSN: e.lsn, Seq: e.c.Seq, Updates: e.c.Updates}); err != nil {
+			if err := fn(Record{Type: RecCommit, LSN: e.lsn, Seq: e.c.Seq, Updates: e.c.Updates, Trace: e.c.Trace}); err != nil {
 				return err
 			}
 		}

@@ -26,11 +26,14 @@ import (
 // Record payloads:
 //
 //	u8 type | uvarint lsn | uvarint seq | body
-//	body(commit):     uvarint n | n × (u8 op | uvarint from | uvarint to)
+//	body(commit):     uvarint n | n × (u8 op | uvarint from | uvarint to) | [bytes(trace)]
 //	body(register):   bytes(id) | bytes(kind) | bytes(def)
 //	body(unregister): bytes(id)
 //
-// where bytes(x) = uvarint len | raw bytes.
+// where bytes(x) = uvarint len | raw bytes. The commit body's trailing
+// trace field (the commit span's W3C traceparent) is written only when
+// non-empty and decoded only when payload bytes remain, so records from
+// before tracing — and untraced commits — round-trip unchanged.
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -59,6 +62,9 @@ func encodeRecord(rec *Record) []byte {
 			buf = append(buf, byte(up.Op))
 			buf = binary.AppendUvarint(buf, uint64(up.From))
 			buf = binary.AppendUvarint(buf, uint64(up.To))
+		}
+		if rec.Trace != "" {
+			buf = appendBytes(buf, []byte(rec.Trace))
 		}
 	case RecRegister:
 		buf = appendBytes(buf, []byte(rec.ID))
@@ -137,6 +143,9 @@ func decodeRecord(payload []byte) (Record, error) {
 				to := d.uvarint()
 				rec.Updates = append(rec.Updates, graph.Update{Op: op, From: int(from), To: int(to)})
 			}
+		}
+		if d.err == nil && d.off < len(d.b) {
+			rec.Trace = string(d.bytes())
 		}
 	case RecRegister:
 		rec.ID = string(d.bytes())
@@ -388,7 +397,7 @@ func (j *Journal) ingestRecovered(rec Record, info *segmentInfo) {
 			j.oldestSeq, j.haveOldest = rec.Seq, true
 		}
 		j.commitCount++
-		j.ring = append(j.ring, ringEntry{lsn: rec.LSN, c: Commit{Seq: rec.Seq, Updates: rec.Updates}})
+		j.ring = append(j.ring, ringEntry{lsn: rec.LSN, c: Commit{Seq: rec.Seq, Updates: rec.Updates, Trace: rec.Trace}})
 		j.trimRingRecovery()
 	}
 	if !j.haveSnap || rec.LSN > j.snapLSN {
@@ -465,7 +474,7 @@ func (j *Journal) commitsFromDisk(fromSeq uint64) ([]Commit, error) {
 				return false
 			}
 			if rec.Type == RecCommit && rec.Seq > fromSeq {
-				out = append(out, Commit{Seq: rec.Seq, Updates: rec.Updates})
+				out = append(out, Commit{Seq: rec.Seq, Updates: rec.Updates, Trace: rec.Trace})
 			}
 			return true
 		})

@@ -1,0 +1,568 @@
+// Package trace is a dependency-free span tracer for the commit
+// lifecycle. One trace follows a ΔG batch from HTTP ingest through the
+// coalescing queue, every commit stage (validate, network repair,
+// per-engine repair, journal, publish), SSE delivery, and — via the
+// W3C traceparent carried on journal records and commit/delta frames —
+// a follower's replicated apply, so a single trace ID spans the whole
+// replication topology.
+//
+// Like internal/obs, this package must import nothing beyond the
+// standard library (the CI gate enforces it): it sits on the commit hot
+// path of every registry. The unsampled path is a nil *Span whose
+// methods are no-ops, so tracing that is off costs one predictable
+// branch per call site.
+//
+// Completed traces land in a bounded FIFO ring queryable by trace ID or
+// commit sequence; gpserve exposes it at GET /v1/tracez.
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceID is the 16-byte W3C trace identifier shared by every span of
+// one trace, across processes.
+type TraceID [16]byte
+
+// SpanID is the 8-byte identifier of one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is all zeroes (invalid per W3C).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is all zeroes (invalid per W3C).
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated part of a span: enough to parent a
+// remote child and to decide sampling, nothing more.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00), or "" for an invalid context — so the zero value can be
+// dropped into an optional JSON field directly.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// Parse decodes a W3C traceparent header value. It accepts version 00
+// (and, per spec, forward-parses unknown versions with the same layout),
+// rejecting zero IDs and malformed fields.
+func Parse(s string) (SpanContext, bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || parts[0] == "ff" {
+		return SpanContext{}, false
+	}
+	if len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) < 2 {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.TraceID[:], []byte(parts[1])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(parts[2])); err != nil {
+		return SpanContext{}, false
+	}
+	flags, err := hex.DecodeString(parts[3][:2])
+	if err != nil || !sc.Valid() {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&1 == 1
+	return sc, true
+}
+
+// Mode selects which traces a Tracer records.
+type Mode int
+
+const (
+	// ModeOff records nothing and ignores upstream sampling decisions.
+	ModeOff Mode = iota
+	// ModeAlways records every trace.
+	ModeAlways
+	// ModeRatio records a deterministic fraction of root traces, hashed
+	// from the trace ID so every node in a topology makes the same
+	// decision for the same trace.
+	ModeRatio
+	// ModeSlow records every trace but prefers evicting traces that
+	// never crossed the slow threshold, so the ring retains the stories
+	// worth reading.
+	ModeSlow
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeAlways:
+		return "always"
+	case ModeRatio:
+		return "ratio"
+	case ModeSlow:
+		return "slow"
+	}
+	return "unknown"
+}
+
+// Config sizes and samples a Tracer. The zero value is ModeOff.
+type Config struct {
+	Mode Mode
+	// Ratio is the ModeRatio sampling fraction in [0,1].
+	Ratio float64
+	// SlowThreshold marks a trace slow (retained preferentially in
+	// ModeSlow, flagged in snapshots) once any span meets it.
+	SlowThreshold time.Duration
+	// MaxTraces bounds the ring of retained traces (default 256).
+	MaxTraces int
+	// MaxSpans bounds spans recorded per trace (default 128); excess
+	// spans are counted but dropped.
+	MaxSpans int
+}
+
+// ParseSampling parses the gpserve -trace-sample flag syntax:
+// "off", "always", "ratio:F" (F in [0,1]), or "slow:DUR" (a
+// time.ParseDuration threshold, e.g. slow:250ms).
+func ParseSampling(s string) (Config, error) {
+	switch {
+	case s == "off":
+		return Config{Mode: ModeOff}, nil
+	case s == "always":
+		return Config{Mode: ModeAlways}, nil
+	case strings.HasPrefix(s, "ratio:"):
+		f, err := strconv.ParseFloat(s[len("ratio:"):], 64)
+		if err != nil || f < 0 || f > 1 {
+			return Config{}, fmt.Errorf("trace sampling %q: ratio must be a number in [0,1]", s)
+		}
+		return Config{Mode: ModeRatio, Ratio: f}, nil
+	case strings.HasPrefix(s, "slow:"):
+		d, err := time.ParseDuration(s[len("slow:"):])
+		if err != nil || d <= 0 {
+			return Config{}, fmt.Errorf("trace sampling %q: want slow:<duration>, e.g. slow:250ms", s)
+		}
+		return Config{Mode: ModeSlow, SlowThreshold: d}, nil
+	}
+	return Config{}, fmt.Errorf("trace sampling %q: want off, always, ratio:F, or slow:DUR", s)
+}
+
+// Tracer records spans into a bounded ring of traces. All methods are
+// safe for concurrent use; a nil *Tracer is a valid always-off tracer.
+type Tracer struct {
+	cfg Config
+
+	mu     sync.Mutex
+	traces map[TraceID]*traceRec
+	order  []TraceID // FIFO insertion order, oldest first
+	bySeq  map[uint64]TraceID
+}
+
+type traceRec struct {
+	id      TraceID
+	start   time.Time
+	slow    bool
+	seqs    []uint64
+	spans   []*spanRec
+	dropped int
+}
+
+type spanRec struct {
+	name   string
+	id     SpanID
+	parent SpanID
+	start  time.Time
+	dur    time.Duration
+	seq    uint64
+	attrs  map[string]any
+	links  []SpanContext
+	done   bool
+}
+
+// New builds a Tracer from cfg, applying defaults for zero bounds.
+func New(cfg Config) *Tracer {
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = 256
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 128
+	}
+	return &Tracer{
+		cfg:    cfg,
+		traces: make(map[TraceID]*traceRec),
+		bySeq:  make(map[uint64]TraceID),
+	}
+}
+
+var defaultTracer = New(Config{Mode: ModeOff})
+
+// Default returns the process-wide tracer. It is off: libraries pay the
+// nil-span fast path unless a server installs a sampling tracer of its
+// own (contq.WithTracer).
+func Default() *Tracer { return defaultTracer }
+
+// Enabled reports whether the tracer can record anything at all.
+func (t *Tracer) Enabled() bool { return t != nil && t.cfg.Mode != ModeOff }
+
+// Mode returns the tracer's sampling mode (ModeOff for nil).
+func (t *Tracer) Mode() Mode {
+	if t == nil {
+		return ModeOff
+	}
+	return t.cfg.Mode
+}
+
+// sampleRatio decides deterministically from the trace ID, so a leader
+// and its followers keep or drop the same traces without coordination.
+func (t *Tracer) sampleRatio(id TraceID) bool {
+	x := binary.BigEndian.Uint64(id[:8])
+	return float64(x>>11)/(1<<53) < t.cfg.Ratio
+}
+
+func newTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], rand.Uint64())
+	binary.BigEndian.PutUint64(id[8:], rand.Uint64())
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], rand.Uint64())
+	}
+	return id
+}
+
+// StartRoot opens a new trace with a fresh trace ID, letting the
+// tracer's mode decide sampling. It returns nil — the no-op span — when
+// the trace is not sampled.
+func (t *Tracer) StartRoot(name string) *Span { return t.StartRootAt(name, time.Now()) }
+
+// StartRootAt is StartRoot with an explicit start time, for callers that
+// stamped the operation's beginning before deciding to trace it.
+func (t *Tracer) StartRootAt(name string, start time.Time) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	id := newTraceID()
+	if t.cfg.Mode == ModeRatio && !t.sampleRatio(id) {
+		return nil
+	}
+	return t.record(SpanContext{TraceID: id, SpanID: newSpanID(), Sampled: true}, SpanID{}, name, start)
+}
+
+// StartSpan opens a child span under parent. It returns nil unless the
+// parent is a valid, sampled context and the tracer is enabled — an
+// unsampled or absent parent never spawns recording downstream.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *Span {
+	return t.StartSpanAt(parent, name, time.Now())
+}
+
+// StartSpanAt is StartSpan with an explicit start time — the delivery
+// spans use the commit's publish instant so the span's duration reads
+// as event age.
+func (t *Tracer) StartSpanAt(parent SpanContext, name string, start time.Time) *Span {
+	if !t.Enabled() || !parent.Valid() || !parent.Sampled {
+		return nil
+	}
+	return t.record(SpanContext{TraceID: parent.TraceID, SpanID: newSpanID(), Sampled: true}, parent.SpanID, name, start)
+}
+
+func (t *Tracer) record(sc SpanContext, parent SpanID, name string, start time.Time) *Span {
+	rec := &spanRec{name: name, id: sc.SpanID, parent: parent, start: start}
+	t.mu.Lock()
+	tr, ok := t.traces[sc.TraceID]
+	if !ok {
+		tr = &traceRec{id: sc.TraceID, start: start}
+		t.traces[sc.TraceID] = tr
+		t.order = append(t.order, sc.TraceID)
+		t.evictLocked()
+	}
+	if len(tr.spans) >= t.cfg.MaxSpans {
+		tr.dropped++
+		t.mu.Unlock()
+		return &Span{t: t, tr: tr, sc: sc} // still propagates IDs downstream
+	}
+	tr.spans = append(tr.spans, rec)
+	t.mu.Unlock()
+	return &Span{t: t, tr: tr, rec: rec, sc: sc}
+}
+
+// evictLocked drops the oldest trace over capacity; in ModeSlow it
+// prefers the oldest trace that never crossed the threshold.
+func (t *Tracer) evictLocked() {
+	for len(t.order) > t.cfg.MaxTraces {
+		victim := 0
+		if t.cfg.Mode == ModeSlow {
+			for i, id := range t.order {
+				if tr := t.traces[id]; tr != nil && !tr.slow {
+					victim = i
+					break
+				}
+			}
+		}
+		id := t.order[victim]
+		t.order = append(t.order[:victim], t.order[victim+1:]...)
+		if tr := t.traces[id]; tr != nil {
+			for _, seq := range tr.seqs {
+				if t.bySeq[seq] == id {
+					delete(t.bySeq, seq)
+				}
+			}
+		}
+		delete(t.traces, id)
+	}
+}
+
+// Span is one timed operation within a trace. The nil span is the
+// unsampled fast path: every method is a no-op and Context() is the
+// zero (invalid) context, so call sites never branch on sampling.
+type Span struct {
+	t   *Tracer
+	tr  *traceRec
+	rec *spanRec
+	sc  SpanContext
+}
+
+// Context returns the span's propagation context (zero when nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// Traceparent is shorthand for Context().Traceparent().
+func (s *Span) Traceparent() string { return s.Context().Traceparent() }
+
+// SetAttr records one key/value on the span. Values should be strings
+// or numbers — they are serialized as-is into the tracez snapshot.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil || s.rec == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.rec.attrs == nil {
+		s.rec.attrs = make(map[string]any, 4)
+	}
+	s.rec.attrs[key] = v
+	s.t.mu.Unlock()
+}
+
+// AddLink attaches another trace's context to this span — the commit
+// span links every coalesced Apply call whose batch it merged.
+func (s *Span) AddLink(sc SpanContext) {
+	if s == nil || s.rec == nil || !sc.Valid() {
+		return
+	}
+	s.t.mu.Lock()
+	s.rec.links = append(s.rec.links, sc)
+	s.t.mu.Unlock()
+}
+
+// SetSeq stamps the commit sequence on the span and indexes the whole
+// trace for /v1/tracez?seq= lookup.
+func (s *Span) SetSeq(seq uint64) {
+	if s == nil || seq == 0 {
+		return
+	}
+	s.t.mu.Lock()
+	if s.rec != nil {
+		s.rec.seq = seq
+	}
+	s.tr.seqs = append(s.tr.seqs, seq)
+	s.t.bySeq[seq] = s.tr.id
+	s.t.mu.Unlock()
+}
+
+// End closes the span at time.Now.
+func (s *Span) End() { s.EndAt(time.Now()) }
+
+// EndAt closes the span at a caller-chosen instant.
+func (s *Span) EndAt(at time.Time) {
+	if s == nil || s.rec == nil {
+		return
+	}
+	d := at.Sub(s.rec.start)
+	if d < 0 {
+		d = 0
+	}
+	s.t.mu.Lock()
+	s.rec.dur = d
+	s.rec.done = true
+	if s.t.cfg.SlowThreshold > 0 && d >= s.t.cfg.SlowThreshold {
+		s.tr.slow = true
+	}
+	s.t.mu.Unlock()
+}
+
+// SpanSnapshot is the JSON form of one recorded span.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_span_id,omitempty"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	InFlight   bool           `json:"in_flight,omitempty"`
+	Seq        uint64         `json:"seq,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Links      []string       `json:"links,omitempty"`
+}
+
+// TraceSnapshot is the JSON form of one trace: its spans in start
+// order, the commit sequences it covers, and whether it crossed the
+// slow threshold.
+type TraceSnapshot struct {
+	TraceID string         `json:"trace_id"`
+	Start   time.Time      `json:"start"`
+	Slow    bool           `json:"slow,omitempty"`
+	Seqs    []uint64       `json:"seqs,omitempty"`
+	Dropped int            `json:"dropped_spans,omitempty"`
+	Spans   []SpanSnapshot `json:"spans"`
+}
+
+func (t *Tracer) snapshotLocked(tr *traceRec) TraceSnapshot {
+	snap := TraceSnapshot{
+		TraceID: tr.id.String(),
+		Start:   tr.start,
+		Slow:    tr.slow,
+		Seqs:    append([]uint64(nil), tr.seqs...),
+		Dropped: tr.dropped,
+		Spans:   make([]SpanSnapshot, 0, len(tr.spans)),
+	}
+	for _, r := range tr.spans {
+		ss := SpanSnapshot{
+			Name:       r.name,
+			SpanID:     r.id.String(),
+			Start:      r.start,
+			DurationMS: float64(r.dur) / float64(time.Millisecond),
+			InFlight:   !r.done,
+			Seq:        r.seq,
+		}
+		if !r.parent.IsZero() {
+			ss.ParentID = r.parent.String()
+		}
+		if len(r.attrs) > 0 {
+			ss.Attrs = make(map[string]any, len(r.attrs))
+			for k, v := range r.attrs {
+				ss.Attrs[k] = v
+			}
+		}
+		for _, l := range r.links {
+			ss.Links = append(ss.Links, l.Traceparent())
+		}
+		snap.Spans = append(snap.Spans, ss)
+	}
+	sort.SliceStable(snap.Spans, func(i, j int) bool { return snap.Spans[i].Start.Before(snap.Spans[j].Start) })
+	return snap
+}
+
+// Traces snapshots the retained traces, most recent first, up to max
+// (all when max <= 0).
+func (t *Tracer) Traces(max int) []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.order)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]TraceSnapshot, 0, n)
+	for i := len(t.order) - 1; i >= 0 && len(out) < n; i-- {
+		if tr := t.traces[t.order[i]]; tr != nil {
+			out = append(out, t.snapshotLocked(tr))
+		}
+	}
+	return out
+}
+
+// Lookup returns the trace with the given hex trace ID.
+func (t *Tracer) Lookup(traceID string) (TraceSnapshot, bool) {
+	if t == nil {
+		return TraceSnapshot{}, false
+	}
+	var id TraceID
+	b, err := hex.DecodeString(traceID)
+	if err != nil || len(b) != len(id) {
+		return TraceSnapshot{}, false
+	}
+	copy(id[:], b)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.traces[id]
+	if !ok {
+		return TraceSnapshot{}, false
+	}
+	return t.snapshotLocked(tr), true
+}
+
+// BySeq returns the trace that committed the given sequence, if it is
+// still retained.
+func (t *Tracer) BySeq(seq uint64) (TraceSnapshot, bool) {
+	if t == nil {
+		return TraceSnapshot{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, ok := t.bySeq[seq]
+	if !ok {
+		return TraceSnapshot{}, false
+	}
+	tr, ok := t.traces[id]
+	if !ok {
+		return TraceSnapshot{}, false
+	}
+	return t.snapshotLocked(tr), true
+}
+
+// Len reports how many traces the ring currently retains.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.order)
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sc; invalid contexts pass through
+// unchanged so callers can thread unconditionally.
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the span context threaded by NewContext (zero
+// when absent).
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

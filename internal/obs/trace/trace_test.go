@@ -1,0 +1,328 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New(Config{Mode: ModeAlways})
+	sp := tr.StartRoot("root")
+	if sp == nil {
+		t.Fatal("always-mode tracer returned nil root span")
+	}
+	tp := sp.Traceparent()
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent %q: want 00-…-01", tp)
+	}
+	sc, ok := Parse(tp)
+	if !ok {
+		t.Fatalf("Parse(%q) failed", tp)
+	}
+	if sc != sp.Context() {
+		t.Fatalf("round trip mismatch: %+v != %+v", sc, sp.Context())
+	}
+	if got := sc.Traceparent(); got != tp {
+		t.Fatalf("re-encode mismatch: %q != %q", got, tp)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-abc-def-01",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // version ff reserved
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span id
+		"00-0af7651916cd43dd8448eb211c80319X-b7ad6b7169203331-01", // non-hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0x",
+	}
+	for _, s := range bad {
+		if _, ok := Parse(s); ok {
+			t.Errorf("Parse(%q) accepted malformed input", s)
+		}
+	}
+	sc, ok := Parse("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	if !ok || sc.Sampled {
+		t.Fatalf("flags 00 should parse as unsampled, got ok=%v sampled=%v", ok, sc.Sampled)
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", 1)
+	sp.AddLink(SpanContext{})
+	sp.SetSeq(7)
+	sp.End()
+	if sp.Context().Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+	if sp.Traceparent() != "" {
+		t.Fatal("nil span renders a traceparent")
+	}
+	var tr *Tracer
+	if tr.Enabled() || tr.StartRoot("x") != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer is not inert")
+	}
+	if got := New(Config{Mode: ModeOff}).StartRoot("x"); got != nil {
+		t.Fatal("off tracer returned a recording span")
+	}
+}
+
+func TestChildSpansShareTraceAndParentLinks(t *testing.T) {
+	tr := New(Config{Mode: ModeAlways})
+	root := tr.StartRoot("commit")
+	child := tr.StartSpan(root.Context(), "stage.validate")
+	child.End()
+	root.SetSeq(42)
+	root.End()
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child did not inherit trace ID")
+	}
+	snap, ok := tr.BySeq(42)
+	if !ok {
+		t.Fatal("BySeq(42) missed")
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(snap.Spans))
+	}
+	byName := map[string]SpanSnapshot{}
+	for _, s := range snap.Spans {
+		byName[s.Name] = s
+	}
+	if byName["stage.validate"].ParentID != byName["commit"].SpanID {
+		t.Fatal("child parent_span_id does not point at root")
+	}
+	if byName["commit"].Seq != 42 {
+		t.Fatalf("root span seq = %d, want 42", byName["commit"].Seq)
+	}
+	if _, ok := tr.Lookup(snap.TraceID); !ok {
+		t.Fatal("Lookup by trace ID missed")
+	}
+}
+
+func TestUnsampledParentSpawnsNothing(t *testing.T) {
+	tr := New(Config{Mode: ModeAlways})
+	sc, _ := Parse("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	if sp := tr.StartSpan(sc, "x"); sp != nil {
+		t.Fatal("unsampled parent spawned a recording span")
+	}
+	if sp := tr.StartSpan(SpanContext{}, "x"); sp != nil {
+		t.Fatal("invalid parent spawned a recording span")
+	}
+}
+
+func TestRemoteContinuationSharesTraceID(t *testing.T) {
+	leader := New(Config{Mode: ModeAlways})
+	follower := New(Config{Mode: ModeAlways})
+	commit := leader.StartRoot("commit")
+	commit.SetSeq(9)
+	commit.End()
+	tp := commit.Traceparent()
+
+	sc, ok := Parse(tp)
+	if !ok {
+		t.Fatal("follower could not parse leader traceparent")
+	}
+	rep := follower.StartSpan(sc, "replica.commit")
+	rep.SetSeq(9)
+	rep.End()
+
+	ls, _ := leader.BySeq(9)
+	fs, ok := follower.BySeq(9)
+	if !ok {
+		t.Fatal("follower BySeq missed")
+	}
+	if ls.TraceID != fs.TraceID {
+		t.Fatalf("trace ID diverged across nodes: %s vs %s", ls.TraceID, fs.TraceID)
+	}
+	if fs.Spans[0].ParentID != ls.Spans[0].SpanID {
+		t.Fatal("replica span does not parent onto the leader commit span")
+	}
+}
+
+func TestRatioSamplingIsDeterministicByTraceID(t *testing.T) {
+	a := New(Config{Mode: ModeRatio, Ratio: 0.5})
+	b := New(Config{Mode: ModeRatio, Ratio: 0.5})
+	sampled, total := 0, 2000
+	for i := 0; i < total; i++ {
+		id := newTraceID()
+		if a.sampleRatio(id) != b.sampleRatio(id) {
+			t.Fatal("two tracers disagreed on the same trace ID")
+		}
+		if a.sampleRatio(id) {
+			sampled++
+		}
+	}
+	if sampled < total/4 || sampled > 3*total/4 {
+		t.Fatalf("ratio 0.5 sampled %d/%d — far off", sampled, total)
+	}
+	if New(Config{Mode: ModeRatio, Ratio: 0}).StartRoot("x") != nil {
+		t.Fatal("ratio 0 sampled a trace")
+	}
+	if New(Config{Mode: ModeRatio, Ratio: 1}).StartRoot("x") == nil {
+		t.Fatal("ratio 1 dropped a trace")
+	}
+}
+
+func TestRingEvictionPrefersFastTracesInSlowMode(t *testing.T) {
+	tr := New(Config{Mode: ModeSlow, SlowThreshold: time.Millisecond, MaxTraces: 2})
+	slow := tr.StartRoot("slow")
+	slow.EndAt(slow.rec.start.Add(5 * time.Millisecond))
+	slowID := slow.Context().TraceID.String()
+
+	fast1 := tr.StartRoot("fast1")
+	fast1.EndAt(fast1.rec.start)
+	// Third trace overflows the ring; the unkept fast1 goes, not slow.
+	tr.StartRoot("fast2").End()
+
+	if tr.Len() != 2 {
+		t.Fatalf("ring len = %d, want 2", tr.Len())
+	}
+	if _, ok := tr.Lookup(slowID); !ok {
+		t.Fatal("slow trace was evicted before a fast one")
+	}
+	if _, ok := tr.Lookup(fast1.Context().TraceID.String()); ok {
+		t.Fatal("fast trace survived eviction")
+	}
+	snap, _ := tr.Lookup(slowID)
+	if !snap.Slow {
+		t.Fatal("trace over threshold not flagged slow")
+	}
+}
+
+func TestFIFOEvictionDropsSeqIndex(t *testing.T) {
+	tr := New(Config{Mode: ModeAlways, MaxTraces: 3})
+	for i := 1; i <= 10; i++ {
+		sp := tr.StartRoot("commit")
+		sp.SetSeq(uint64(i))
+		sp.End()
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("ring len = %d, want 3", tr.Len())
+	}
+	if _, ok := tr.BySeq(1); ok {
+		t.Fatal("evicted trace still indexed by seq")
+	}
+	if _, ok := tr.BySeq(10); !ok {
+		t.Fatal("latest trace lost its seq index")
+	}
+	got := tr.Traces(0)
+	if len(got) != 3 || got[0].Seqs[0] != 10 || got[2].Seqs[0] != 8 {
+		t.Fatalf("Traces not most-recent-first: %+v", got)
+	}
+	if n := len(tr.Traces(2)); n != 2 {
+		t.Fatalf("Traces(2) returned %d", n)
+	}
+}
+
+func TestMaxSpansDropsButKeepsPropagating(t *testing.T) {
+	tr := New(Config{Mode: ModeAlways, MaxSpans: 2})
+	root := tr.StartRoot("root")
+	a := tr.StartSpan(root.Context(), "a")
+	b := tr.StartSpan(root.Context(), "b") // over cap: dropped, but usable
+	if b == nil || !b.Context().Valid() {
+		t.Fatal("over-cap span lost its propagation context")
+	}
+	b.SetAttr("k", "v")
+	b.End()
+	a.End()
+	root.End()
+	snap, _ := tr.Lookup(root.Context().TraceID.String())
+	if len(snap.Spans) != 2 || snap.Dropped != 1 {
+		t.Fatalf("want 2 spans + 1 dropped, got %d + %d", len(snap.Spans), snap.Dropped)
+	}
+}
+
+func TestSpanLinksAndAttrs(t *testing.T) {
+	tr := New(Config{Mode: ModeAlways})
+	other := tr.StartRoot("other")
+	sp := tr.StartRoot("commit")
+	sp.SetAttr("batches", 3)
+	sp.AddLink(other.Context())
+	sp.End()
+	snap, _ := tr.Lookup(sp.Context().TraceID.String())
+	s := snap.Spans[0]
+	if s.Attrs["batches"] != 3 {
+		t.Fatalf("attr lost: %+v", s.Attrs)
+	}
+	if len(s.Links) != 1 || s.Links[0] != other.Traceparent() {
+		t.Fatalf("link lost: %+v", s.Links)
+	}
+}
+
+func TestParseSampling(t *testing.T) {
+	cases := []struct {
+		in   string
+		mode Mode
+		ok   bool
+	}{
+		{"off", ModeOff, true},
+		{"always", ModeAlways, true},
+		{"ratio:0.25", ModeRatio, true},
+		{"slow:250ms", ModeSlow, true},
+		{"ratio:2", 0, false},
+		{"ratio:x", 0, false},
+		{"slow:-1s", 0, false},
+		{"sometimes", 0, false},
+	}
+	for _, c := range cases {
+		cfg, err := ParseSampling(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSampling(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && cfg.Mode != c.mode {
+			t.Errorf("ParseSampling(%q) mode=%v, want %v", c.in, cfg.Mode, c.mode)
+		}
+	}
+	if cfg, _ := ParseSampling("slow:250ms"); cfg.SlowThreshold != 250*time.Millisecond {
+		t.Fatalf("slow threshold = %v", cfg.SlowThreshold)
+	}
+	if cfg, _ := ParseSampling("ratio:0.25"); cfg.Ratio != 0.25 {
+		t.Fatalf("ratio = %v", cfg.Ratio)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx).Valid() {
+		t.Fatal("empty ctx yields a valid span context")
+	}
+	sc, _ := Parse("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	ctx2 := NewContext(ctx, sc)
+	if got := FromContext(ctx2); got != sc {
+		t.Fatalf("ctx round trip: %+v != %+v", got, sc)
+	}
+	if NewContext(ctx, SpanContext{}) != ctx {
+		t.Fatal("invalid context allocated a ctx value")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Config{Mode: ModeAlways, MaxTraces: 16})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				root := tr.StartRoot("commit")
+				ch := tr.StartSpan(root.Context(), "stage")
+				ch.SetAttr("i", n)
+				ch.End()
+				root.SetSeq(uint64(n*1000 + j + 1))
+				root.End()
+				tr.Traces(4)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tr.Len() != 16 {
+		t.Fatalf("ring len = %d, want 16", tr.Len())
+	}
+}

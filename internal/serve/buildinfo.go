@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"runtime/debug"
+	"sync"
+
+	"gpm/internal/obs"
+)
+
+// BuildInfo identifies the running binary: the main module's version, the
+// Go toolchain that built it, and the VCS revision (with a "+dirty"
+// suffix for uncommitted builds) when the build embedded one. It appears
+// as the "build" block of /v1/stats and as the constant gpm_build_info
+// gauge in /v1/metricz — the standard trick for joining every scraped
+// series to the exact binary that produced it.
+type BuildInfo struct {
+	Version  string `json:"version"`
+	Go       string `json:"go"`
+	Revision string `json:"revision,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// ReadBuildInfo reads the binary's embedded build metadata once (it is
+// immutable for the process lifetime) via runtime/debug.
+func ReadBuildInfo() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "unknown", Go: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Go = bi.GoVersion
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		var rev string
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty && rev != "" {
+			rev += "+dirty"
+		}
+		buildInfo.Revision = rev
+	})
+	return buildInfo
+}
+
+// registerBuildInfo publishes the gpm_build_info gauge (constant 1, build
+// identity in the labels) into reg. Idempotent through the obs registry's
+// get-or-create contract, so registry swaps re-register harmlessly.
+func registerBuildInfo(reg *obs.Registry) {
+	bi := ReadBuildInfo()
+	labels := []obs.Label{
+		obs.L("version", bi.Version),
+		obs.L("go", bi.Go),
+	}
+	if bi.Revision != "" {
+		labels = append(labels, obs.L("revision", bi.Revision))
+	}
+	reg.Gauge("gpm_build_info",
+		"Build identity of the running binary; constant 1, the identity lives in the labels.",
+		labels...).Set(1)
+}

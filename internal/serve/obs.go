@@ -4,6 +4,8 @@ import (
 	"log/slog"
 	"net/http"
 	"time"
+
+	"gpm/internal/obs/trace"
 )
 
 // metricz serves the process's telemetry in the Prometheus text exposition
@@ -16,17 +18,24 @@ func (s *Server) metricz(w http.ResponseWriter, r *http.Request) {
 	s.registry().Metrics().WriteProm(w) //nolint:errcheck // client gone mid-scrape
 }
 
-// statusRecorder captures the status code a handler writes, for access
-// logging. WriteHeader may never be called (implicit 200), so status starts
-// there.
+// statusRecorder captures the status code a handler writes and counts the
+// response bytes, for access logging. WriteHeader may never be called
+// (implicit 200), so status starts there.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
 }
 
 // Flush forwards to the wrapped writer so SSE streaming keeps working
@@ -38,9 +47,11 @@ func (r *statusRecorder) Flush() {
 }
 
 // AccessLog wraps h with structured request logging: one slog line per
-// request with method, path, status, duration and remote address. Long-
-// lived SSE streams log on disconnect, so their duration is the stream's
-// lifetime. A nil logger returns h unchanged.
+// request with method, path, status, response bytes, duration, remote
+// address, and — when the request carried a traceparent — the trace ID
+// that joins the line to /v1/tracez. Long-lived SSE streams log on
+// disconnect, so their duration is the stream's lifetime and their bytes
+// the whole feed. A nil logger returns h unchanged.
 func AccessLog(h http.Handler, logger *slog.Logger) http.Handler {
 	if logger == nil {
 		return h
@@ -49,12 +60,17 @@ func AccessLog(h http.Handler, logger *slog.Logger) http.Handler {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(rec, r)
-		logger.Info("request",
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,
-			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"bytes", rec.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds()) / 1000,
 			"remote", r.RemoteAddr,
-		)
+		}
+		if sc, ok := trace.Parse(r.Header.Get("traceparent")); ok {
+			attrs = append(attrs, "trace_id", sc.TraceID.String())
+		}
+		logger.Info("request", attrs...)
 	})
 }

@@ -17,6 +17,7 @@
 //	GET     /v1/commits?from=N         —                     raw ΔG tail after seq N
 //	GET     /v1/stats                  —                     registry + journal stats
 //	GET     /v1/metricz                —                     Prometheus text exposition
+//	GET     /v1/tracez                 —                     recent commit traces (JSON)
 //	GET     /v1/healthz                —                     liveness (always 200)
 //	GET     /v1/readyz                 —                     readiness (registry + journal)
 //
@@ -54,6 +55,7 @@ import (
 	"gpm/internal/contq"
 	"gpm/internal/graph"
 	"gpm/internal/journal"
+	"gpm/internal/obs/trace"
 )
 
 // Server wraps a contq.Registry with the HTTP surface. Construct with New
@@ -81,6 +83,7 @@ type Server struct {
 func New(options ...contq.Option) *Server {
 	s := &Server{opts: options, journal: journal.New()}
 	s.reg = contq.New(graph.New(), s.registryOpts()...)
+	registerBuildInfo(s.reg.Metrics())
 	s.initMux()
 	return s
 }
@@ -96,6 +99,7 @@ func NewWithJournal(j *journal.Journal, options ...contq.Option) (*Server, error
 		return nil, err
 	}
 	s := &Server{reg: reg, opts: options, journal: j}
+	registerBuildInfo(reg.Metrics())
 	s.initMux()
 	return s, nil
 }
@@ -109,6 +113,7 @@ func NewWithJournal(j *journal.Journal, options ...contq.Option) (*Server, error
 func NewReadOnly(leaderURL string, options ...contq.Option) *Server {
 	s := &Server{opts: options, journal: journal.New(), readOnly: true, leader: leaderURL}
 	s.reg = contq.New(graph.New(), s.registryOpts()...)
+	registerBuildInfo(s.reg.Metrics())
 	s.initMux()
 	return s
 }
@@ -126,6 +131,9 @@ func (s *Server) SetRegistry(reg *contq.Registry, j *journal.Journal) {
 		s.journal = j
 	}
 	s.mu.Unlock()
+	// The replacement registry may carry its own metrics registry; make
+	// sure the build gauge exists there too (get-or-create: no duplicate).
+	registerBuildInfo(reg.Metrics())
 	if old != nil && old != reg {
 		old.Close()
 	}
@@ -172,6 +180,7 @@ func (s *Server) initMux() {
 		{path: "/snapshot", methods: map[string]http.HandlerFunc{"GET": s.snapshot}, v1Only: true},
 		{path: "/stats", methods: map[string]http.HandlerFunc{"GET": s.stats}},
 		{path: "/metricz", methods: map[string]http.HandlerFunc{"GET": s.metricz}, v1Only: true},
+		{path: "/tracez", methods: map[string]http.HandlerFunc{"GET": s.tracez}, v1Only: true},
 		{path: "/healthz", methods: map[string]http.HandlerFunc{"GET": s.healthz}, v1Only: true},
 		{path: "/readyz", methods: map[string]http.HandlerFunc{"GET": s.readyz}, v1Only: true},
 	}
@@ -189,7 +198,7 @@ func (s *Server) initMux() {
 		mux.HandleFunc(rt.path, deprecated(methodNotAllowed(rt.methods)))
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no route %s", r.URL.Path))
+		writeError(w, r, http.StatusNotFound, CodeNotFound, fmt.Errorf("no route %s", r.URL.Path))
 	})
 	s.mux = mux
 }
@@ -202,11 +211,15 @@ func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
 		return h
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusForbidden, ErrorBody{
+		body := ErrorBody{
 			Code:    CodeReadOnly,
 			Message: fmt.Sprintf("this instance is a read-only follower; write to the leader at %s", s.leader),
 			Leader:  s.leader,
-		})
+		}
+		if sc := trace.FromContext(r.Context()); sc.Valid() {
+			body.TraceID = sc.TraceID.String()
+		}
+		writeJSON(w, http.StatusForbidden, body)
 	}
 }
 
@@ -233,7 +246,7 @@ func methodNotAllowed(methods map[string]http.HandlerFunc) http.HandlerFunc {
 	allow := strings.Join(allowed, ", ")
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", allow)
-		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		writeError(w, r, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
 			fmt.Errorf("method %s not allowed (allow: %s)", r.Method, allow))
 	}
 }
@@ -246,8 +259,15 @@ func (s *Server) registryOpts() []contq.Option {
 	return append(opts, contq.WithJournal(s.journal))
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. An incoming W3C traceparent header
+// is parsed into the request context here, once, so every handler —
+// ingest, streams, error envelopes — sees the caller's span context.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if sc, ok := trace.Parse(r.Header.Get("traceparent")); ok {
+		r = r.WithContext(trace.NewContext(r.Context(), sc))
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // registry returns the current registry under the swap lock.
 func (s *Server) registry() *contq.Registry {
@@ -300,11 +320,11 @@ func (s *Server) LoadGraph(g *graph.Graph) error {
 func (s *Server) loadGraph(w http.ResponseWriter, r *http.Request) {
 	g, err := readGraphBody(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidGraph, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidGraph, err)
 		return
 	}
 	if err := s.LoadGraph(g); err != nil {
-		writeError(w, http.StatusInternalServerError, CodeInternal,
+		writeError(w, r, http.StatusInternalServerError, CodeInternal,
 			fmt.Errorf("graph loaded but journal reset failed: %w", err))
 		return
 	}
@@ -328,8 +348,9 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	doc := struct {
 		contq.Stats
-		Follower any `json:"follower,omitempty"`
-	}{Stats: s.registry().Stats()}
+		Build    BuildInfo `json:"build"`
+		Follower any       `json:"follower,omitempty"`
+	}{Stats: s.registry().Stats(), Build: ReadBuildInfo()}
 	if extra != nil {
 		doc.Follower = extra()
 	}
@@ -353,16 +374,16 @@ func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	if check != nil {
 		if err := check(); err != nil {
-			writeError(w, http.StatusServiceUnavailable, CodeNotReady, err)
+			writeError(w, r, http.StatusServiceUnavailable, CodeNotReady, err)
 			return
 		}
 	}
 	if s.registry().Closed() {
-		writeError(w, http.StatusServiceUnavailable, CodeNotReady, errors.New("registry closed"))
+		writeError(w, r, http.StatusServiceUnavailable, CodeNotReady, errors.New("registry closed"))
 		return
 	}
 	if err := s.Journal().Broken(); err != nil {
-		writeError(w, http.StatusServiceUnavailable, CodeNotReady,
+		writeError(w, r, http.StatusServiceUnavailable, CodeNotReady,
 			fmt.Errorf("journal not accepting appends: %w", err))
 		return
 	}
@@ -373,7 +394,7 @@ func (s *Server) register(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	p, err := readPatternBody(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidPattern, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidPattern, err)
 		return
 	}
 	kind := contq.Kind(r.URL.Query().Get("kind"))
@@ -383,7 +404,7 @@ func (s *Server) register(w http.ResponseWriter, r *http.Request) {
 	reg := s.registry()
 	if err := reg.Register(id, p, kind); err != nil {
 		status, code := classify(err, http.StatusBadRequest, CodeInvalidPattern)
-		writeError(w, status, code, err)
+		writeError(w, r, status, code, err)
 		return
 	}
 	// Echo the kind the registry resolved (auto → sim/bsim), so clients
@@ -413,7 +434,7 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	res, ok := reg.Result(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("pattern %q not registered", id))
+		writeError(w, r, http.StatusNotFound, CodeNotFound, fmt.Errorf("pattern %q not registered", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -424,7 +445,7 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 func (s *Server) unregister(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.registry().Unregister(id) {
-		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("pattern %q not registered", id))
+		writeError(w, r, http.StatusNotFound, CodeNotFound, fmt.Errorf("pattern %q not registered", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "unregistered": true})
@@ -433,28 +454,49 @@ func (s *Server) unregister(w http.ResponseWriter, r *http.Request) {
 func (s *Server) updates(w http.ResponseWriter, r *http.Request) {
 	ups, err := readUpdatesBody(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidUpdates, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidUpdates, err)
 		return
 	}
-	seq, err := s.registry().ApplyContext(r.Context(), ups)
+	reg := s.registry()
+	// The ingest span covers the HTTP half of the write: body parsed →
+	// response written. It continues the caller's trace when the request
+	// carried a sampled traceparent, otherwise the tracer's mode decides
+	// whether a fresh trace starts here.
+	tr := reg.Tracer()
+	var ingest *trace.Span
+	if sc := trace.FromContext(r.Context()); sc.Valid() {
+		ingest = tr.StartSpan(sc, "http.ingest")
+	} else {
+		ingest = tr.StartRoot("http.ingest")
+	}
+	ingest.SetAttr("updates", len(ups))
+	defer ingest.End()
+	ctx := trace.NewContext(r.Context(), ingest.Context())
+	r = r.WithContext(ctx)
+	seq, err := reg.ApplyContext(ctx, ups)
 	if err != nil {
+		ingest.SetAttr("error", err.Error())
 		// seq != 0 means the batch WAS committed and published but a
 		// server-side step after it failed (journal append): that is a
 		// 5xx carrying the assigned seq, not a rejected request — a 4xx
 		// would tell the client its state diverged when it did not.
 		if seq != 0 {
-			writeJSON(w, http.StatusInternalServerError, ErrorBody{
-				Code: CodeJournalFailed, Message: err.Error(), Seq: seq,
-			})
+			ingest.SetSeq(seq)
+			body := ErrorBody{Code: CodeJournalFailed, Message: err.Error(), Seq: seq}
+			if sc := trace.FromContext(ctx); sc.Valid() {
+				body.TraceID = sc.TraceID.String()
+			}
+			writeJSON(w, http.StatusInternalServerError, body)
 			return
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return // the client is gone; nobody reads this response
 		}
 		status, code := classify(err, http.StatusBadRequest, CodeInvalidUpdates)
-		writeError(w, status, code, err)
+		writeError(w, r, status, code, err)
 		return
 	}
+	ingest.SetSeq(seq)
 	writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "updates": len(ups)})
 }
 
@@ -509,13 +551,13 @@ func resumeSeq(r *http.Request) (seq uint64, ok bool, err error) {
 func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("streaming unsupported"))
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, fmt.Errorf("streaming unsupported"))
 		return
 	}
 	id := r.PathValue("id")
 	from, resume, err := resumeSeq(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidSeq, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidSeq, err)
 		return
 	}
 	ctx := r.Context()
@@ -535,7 +577,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		status, code := classify(err, http.StatusInternalServerError, CodeInternal)
-		writeError(w, status, code, err)
+		writeError(w, r, status, code, err)
 		return
 	}
 	defer sub.Cancel()
@@ -560,6 +602,7 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 	// latency. Backfilled events carry no timestamp and are skipped.
 	eventAge := reg.Metrics().Histogram("gpm_sse_event_age_ms",
 		"Age of a match-delta event when the SSE handler delivers it, publish to write, in milliseconds.", nil)
+	tr := reg.Tracer()
 	for {
 		select {
 		case <-ctx.Done():
@@ -575,7 +618,24 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) {
 				"id": ev.Pattern, "seq": ev.Seq,
 				"added": pairsOrEmpty(ev.Delta.Added), "removed": pairsOrEmpty(ev.Delta.Removed),
 			}
-			if err := sseEvent(w, flusher, "delta", ev.Seq, frame); err != nil {
+			if ev.Trace != "" {
+				frame["trace"] = ev.Trace
+			}
+			if !ev.At.IsZero() {
+				frame["at"] = ev.At.UnixNano()
+			}
+			// The delivery span hangs the SSE write off the commit span that
+			// produced the event: its start is the publish timestamp, so its
+			// duration IS the event's age at delivery. Backfilled events
+			// (zero At) are historical and get no span.
+			var ds *trace.Span
+			if sc, ok := trace.Parse(ev.Trace); ok && !ev.At.IsZero() {
+				ds = tr.StartSpanAt(sc, "sse.deliver", ev.At)
+				ds.SetAttr("pattern", ev.Pattern)
+			}
+			err := sseEvent(w, flusher, "delta", ev.Seq, frame)
+			ds.End()
+			if err != nil {
 				return
 			}
 		}
@@ -590,7 +650,7 @@ func (s *Server) commits(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("from"); raw != "" {
 		v, err := strconv.ParseUint(raw, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, CodeInvalidSeq, fmt.Errorf("bad from seq %q: %w", raw, err))
+			writeError(w, r, http.StatusBadRequest, CodeInvalidSeq, fmt.Errorf("bad from seq %q: %w", raw, err))
 			return
 		}
 		from = v
@@ -599,12 +659,16 @@ func (s *Server) commits(w http.ResponseWriter, r *http.Request) {
 	recs, err := reg.Replay(from)
 	if err != nil {
 		status, code := classify(err, http.StatusInternalServerError, CodeInternal)
-		writeError(w, status, code, err)
+		writeError(w, r, status, code, err)
 		return
 	}
 	out := make([]map[string]any, 0, len(recs))
 	for _, rec := range recs {
-		out = append(out, map[string]any{"seq": rec.Seq, "updates": updatesOrEmpty(rec.Updates)})
+		m := map[string]any{"seq": rec.Seq, "updates": updatesOrEmpty(rec.Updates)}
+		if rec.Trace != "" {
+			m["trace"] = rec.Trace
+		}
+		out = append(out, m)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"from": from, "head": reg.Seq(), "commits": out})
 }
@@ -631,7 +695,7 @@ func (s *Server) patternDef(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	pd, ok := s.registry().PatternDef(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("pattern %q not registered", id))
+		writeError(w, r, http.StatusNotFound, CodeNotFound, fmt.Errorf("pattern %q not registered", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -650,12 +714,12 @@ func (s *Server) patternDef(w http.ResponseWriter, r *http.Request) {
 func (s *Server) commitStream(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("streaming unsupported"))
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, fmt.Errorf("streaming unsupported"))
 		return
 	}
 	from, resume, err := resumeSeq(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidSeq, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidSeq, err)
 		return
 	}
 	ctx := r.Context()
@@ -667,7 +731,7 @@ func (s *Server) commitStream(w http.ResponseWriter, r *http.Request) {
 	sub, err := reg.SubscribeCommitsContext(ctx, opts...)
 	if err != nil {
 		status, code := classify(err, http.StatusInternalServerError, CodeInternal)
-		writeError(w, status, code, err)
+		writeError(w, r, status, code, err)
 		return
 	}
 	defer sub.Cancel()
@@ -681,6 +745,7 @@ func (s *Server) commitStream(w http.ResponseWriter, r *http.Request) {
 	if err := sseEvent(w, flusher, "head", sub.Seq, map[string]any{"seq": sub.Seq}); err != nil {
 		return
 	}
+	tr := reg.Tracer()
 	for {
 		select {
 		case <-ctx.Done():
@@ -690,7 +755,20 @@ func (s *Server) commitStream(w http.ResponseWriter, r *http.Request) {
 				return // registry swapped out or server closing
 			}
 			frame := map[string]any{"seq": ev.Seq, "updates": updatesOrEmpty(ev.Updates)}
-			if err := sseEvent(w, flusher, "commit", ev.Seq, frame); err != nil {
+			if ev.Trace != "" {
+				frame["trace"] = ev.Trace
+			}
+			if !ev.At.IsZero() {
+				frame["at"] = ev.At.UnixNano()
+			}
+			var ds *trace.Span
+			if sc, ok := trace.Parse(ev.Trace); ok && !ev.At.IsZero() {
+				ds = tr.StartSpanAt(sc, "sse.deliver", ev.At)
+				ds.SetAttr("stream", "commits")
+			}
+			err := sseEvent(w, flusher, "commit", ev.Seq, frame)
+			ds.End()
+			if err != nil {
 				return
 			}
 		}

@@ -10,6 +10,7 @@ import (
 	"gpm/internal/contq"
 	"gpm/internal/graph"
 	"gpm/internal/journal"
+	"gpm/internal/obs/trace"
 	"gpm/internal/pattern"
 	"gpm/internal/rel"
 )
@@ -67,12 +68,15 @@ const (
 )
 
 // ErrorBody is the v1 error envelope. Leader appears only on read_only
-// failures: the base URL of the instance that accepts writes.
+// failures: the base URL of the instance that accepts writes. TraceID
+// appears when the failing request carried (or was assigned) a sampled
+// trace — the key to pull the request's span tree from /v1/tracez.
 type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Seq     uint64 `json:"seq,omitempty"`
 	Leader  string `json:"leader,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -81,9 +85,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
 }
 
-// writeError emits the error envelope.
-func writeError(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, ErrorBody{Code: code, Message: err.Error()})
+// writeError emits the error envelope, stamping the request's trace ID
+// (threaded into the context by ServeHTTP) so failures join with traces.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	body := ErrorBody{Code: code, Message: err.Error()}
+	if r != nil {
+		if sc := trace.FromContext(r.Context()); sc.Valid() {
+			body.TraceID = sc.TraceID.String()
+		}
+	}
+	writeJSON(w, status, body)
 }
 
 // classify maps the contq/journal sentinel errors to their wire status
