@@ -994,7 +994,7 @@ func FromSeq(n uint64) SubscribeOption {
 // Delivery never blocks the writer: events queue in an unbounded per-
 // subscriber mailbox and drain in commit order.
 func (r *Registry) Subscribe(id string, options ...SubscribeOption) (*Subscription, error) {
-	return r.SubscribeContext(context.Background(), id, options...)
+	return r.SubscribeContext(context.Background(), id, options...) //gpmvet:ignore legacy non-ctx API: this wrapper is the documented detachment point
 }
 
 // SubscribeContext is Subscribe with cancellation: a FromSeq resume's

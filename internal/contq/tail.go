@@ -197,7 +197,7 @@ func (r *Registry) closeCommitSubs() {
 // the journal no longer retains the range — the subscriber must re-sync
 // from a snapshot (Export) instead.
 func (r *Registry) SubscribeCommits(options ...SubscribeOption) (*CommitSub, error) {
-	return r.SubscribeCommitsContext(context.Background(), options...)
+	return r.SubscribeCommitsContext(context.Background(), options...) //gpmvet:ignore legacy non-ctx API: this wrapper is the documented detachment point
 }
 
 // SubscribeCommitsContext is SubscribeCommits with cancellation: the

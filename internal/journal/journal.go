@@ -547,7 +547,7 @@ func (j *Journal) Reset(g *graph.Graph) error {
 	if j.dir == "" {
 		return nil
 	}
-	if err := j.resetDisk(g); err != nil {
+	if err := j.resetDiskLocked(g); err != nil {
 		j.lastErr = err
 		return err
 	}

@@ -519,10 +519,10 @@ func (j *Journal) replayDisk(afterLSN uint64, fn func(Record) error) error {
 	return nil
 }
 
-// resetDisk wipes all segments and snapshots and re-seeds the directory
-// with a snapshot of g at seq 0 plus a fresh active segment. Called with
-// j.mu held.
-func (j *Journal) resetDisk(g *graph.Graph) error {
+// resetDiskLocked wipes all segments and snapshots and re-seeds the
+// directory with a snapshot of g at seq 0 plus a fresh active segment.
+// Called with j.mu held.
+func (j *Journal) resetDiskLocked(g *graph.Graph) error {
 	if j.active != nil {
 		j.active.close() //nolint:errcheck // the file is deleted next
 		j.active = nil

@@ -1,0 +1,3 @@
+module gpmvet
+
+go 1.24

@@ -1,0 +1,164 @@
+// Package analysis is a dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis Analyzer/Pass contract, sized for
+// gpmvet's needs. The main gpm module is deliberately dependency-free
+// and the tools module follows suit: every gpmvet analyzer works on
+// syntax alone (go/ast + go/token), so no type-checker, export data, or
+// external module is required. The API mirrors go/analysis closely
+// enough that an analyzer written here ports to the real framework by
+// changing one import.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position inside Pass.Fset and a message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Analyzer is one named check. Flags are registered by the driver under
+// the "<name>." prefix (e.g. -lockcheck.allow) and may also be set
+// directly in tests.
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Flags flag.FlagSet
+	Run   func(*Pass) error
+}
+
+// Package identifies the package under analysis. ImportPath is what
+// path-scoped analyzers (stdlibonly, envelopecheck, ctxflow) match
+// their package lists against; Module is the containing module path, so
+// module-internal imports can be told apart from the standard library.
+type Package struct {
+	Name       string
+	ImportPath string
+	Module     string
+	Dir        string
+}
+
+// Pass carries one package's syntax through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a diagnostic resolved against the file set, ready to
+// print, serialize, or match against test expectations.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"` // file:line:col
+	File     string `json:"-"`
+	Line     int    `json:"-"`
+	Message  string `json:"message"`
+	// Suppressed carries the //gpmvet:ignore reason when the finding was
+	// silenced by the escape hatch ("" for live findings).
+	Suppressed string `json:"suppressed_reason,omitempty"`
+}
+
+// ParseDir parses every non-test .go file in dir (with comments — the
+// ignore hatch and the stdlib-only marker live in comments).
+func ParseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return ParseFiles(fset, dir, names)
+}
+
+// ParseFiles parses the named files (relative to dir when not absolute).
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, n := range names {
+		path := n
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, n)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Run applies the analyzers to one parsed package and resolves their
+// raw diagnostics into findings, splitting off those suppressed by a
+// //gpmvet:ignore comment. An ignore comment with no reason is itself a
+// finding: silent suppressions are how invariants rot.
+func Run(fset *token.FileSet, pkg Package, files []*ast.File, analyzers []*Analyzer) (live, suppressed []Finding, err error) {
+	ignores, bad := ignoreLines(fset, files)
+	for _, d := range bad {
+		live = append(live, resolve(fset, "gpmvet", d, ""))
+	}
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			pos := fset.Position(d.Pos)
+			if reason, ok := ignores.match(pos.Filename, pos.Line); ok {
+				suppressed = append(suppressed, resolve(fset, a.Name, d, reason))
+			} else {
+				live = append(live, resolve(fset, a.Name, d, ""))
+			}
+		}
+	}
+	sortFindings(live)
+	sortFindings(suppressed)
+	return live, suppressed, nil
+}
+
+func resolve(fset *token.FileSet, analyzer string, d Diagnostic, reason string) Finding {
+	pos := fset.Position(d.Pos)
+	return Finding{
+		Analyzer:   analyzer,
+		Pos:        pos.String(),
+		File:       pos.Filename,
+		Line:       pos.Line,
+		Message:    d.Message,
+		Suppressed: reason,
+	}
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
+	})
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnorePrefix is the escape hatch: a comment of the form
+//
+//	//gpmvet:ignore <reason>
+//
+// suppresses every gpmvet finding on its own line and on the line below
+// it (so it works both as a trailing comment and as a directive above
+// the offending statement). The reason is mandatory — an ignore without
+// one is reported as a finding in its own right — and every suppression
+// is counted in the driver's summary, so the escape hatch stays visible
+// instead of silently accumulating.
+const IgnorePrefix = "gpmvet:ignore"
+
+// ignoreSet maps file → line → reason for every well-formed ignore.
+type ignoreSet map[string]map[int]string
+
+func (s ignoreSet) match(file string, line int) (reason string, ok bool) {
+	reason, ok = s[file][line]
+	return reason, ok
+}
+
+// ignoreLines scans the files' comments for ignore directives. It
+// returns the suppression set and a diagnostic per reason-less ignore.
+func ignoreLines(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	set := ignoreSet{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnorePrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, IgnorePrefix))
+				pos := fset.Position(c.Pos())
+				if reason == "" {
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Message: "gpmvet:ignore needs a reason (//gpmvet:ignore <why this is safe>)"})
+					continue
+				}
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]string{}
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = reason
+				if _, taken := lines[pos.Line+1]; !taken {
+					lines[pos.Line+1] = reason
+				}
+			}
+		}
+	}
+	return set, bad
+}

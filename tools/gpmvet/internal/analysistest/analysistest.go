@@ -1,0 +1,146 @@
+// Package analysistest is the fixture harness for gpmvet analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixtures live
+// under testdata/src/<pkgpath>, and every line expecting a finding
+// carries a trailing comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// The harness fails the test on any unmatched expectation and any
+// unexpected finding, so each fixture proves both directions: the
+// analyzer fires where it must and stays quiet where it must not.
+// Findings silenced by //gpmvet:ignore are returned for the test to
+// assert on, since proving the escape hatch works is part of the
+// contract.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gpmvet/internal/analysis"
+)
+
+// Run analyzes testdata/src/<pkgpath> with a and checks // want
+// expectations, returning the live and suppressed findings.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) (live, suppressed []analysis.Finding) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	fset := token.NewFileSet()
+	files, err := analysis.ParseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", dir, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	module := pkgpath
+	if i := strings.Index(pkgpath, "/"); i >= 0 {
+		module = pkgpath[:i]
+	}
+	pkg := analysis.Package{
+		Name:       files[0].Name.Name,
+		ImportPath: pkgpath,
+		Module:     module,
+		Dir:        dir,
+	}
+	live, suppressed, err = analysis.Run(fset, pkg, files, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	check(t, fset, files, live)
+	return live, suppressed
+}
+
+type expectation struct {
+	pos     string // file:line, for error messages
+	re      *regexp.Regexp
+	matched bool
+}
+
+// check compares live findings against the fixtures' want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, live []analysis.Finding) {
+	t.Helper()
+	// wants maps file:line to that line's unmatched expectations.
+	wants := map[string][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pat := range parseWants(t, key, strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{pos: key, re: re})
+				}
+			}
+		}
+	}
+	for _, f := range live {
+		key := fmt.Sprintf("%s:%d", f.File, f.Line)
+		matched := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(f.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding [%s]: %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no finding matching %q", exp.pos, exp.re)
+			}
+		}
+	}
+}
+
+// parseWants splits `"re1" "re2"` into its quoted patterns; both
+// double-quoted and backquoted patterns are accepted.
+func parseWants(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want comment near %q (expected quoted regexp)", pos, s)
+		}
+		end := 1
+		for end < len(s) {
+			if quote == '"' && s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == quote {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s: unterminated want pattern in %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+1], err)
+		}
+		pats = append(pats, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return pats
+}

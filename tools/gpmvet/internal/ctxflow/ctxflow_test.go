@@ -1,0 +1,26 @@
+package ctxflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpmvet/internal/analysistest"
+	"gpmvet/internal/ctxflow"
+)
+
+func TestGuardedPackage(t *testing.T) {
+	_, suppressed := analysistest.Run(t, "testdata", ctxflow.Analyzer, "gpm/internal/contq")
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed = %d findings, want exactly the legacy-wrapper escape hatch: %+v", len(suppressed), suppressed)
+	}
+	if got := suppressed[0].Suppressed; !strings.Contains(got, "legacy non-ctx API") {
+		t.Errorf("suppression reason = %q, want the fixture's ignore reason", got)
+	}
+}
+
+func TestOutsideScope(t *testing.T) {
+	live, _ := analysistest.Run(t, "testdata", ctxflow.Analyzer, "x")
+	if len(live) != 0 {
+		t.Fatalf("live = %+v, want none outside the request-path packages", live)
+	}
+}

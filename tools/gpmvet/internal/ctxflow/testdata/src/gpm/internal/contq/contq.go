@@ -1,0 +1,38 @@
+package contq
+
+import "context"
+
+type Registry struct{}
+
+// Ctx-first exported APIs: the convention.
+func (r *Registry) ApplyContext(ctx context.Context, n int) error { return nil }
+
+func Connect(ctx context.Context, addr string) error { return nil }
+
+// Exported with ctx buried after other params.
+func (r *Registry) Replay(from uint64, ctx context.Context) error { // want "Replay takes a context.Context that is not the first parameter"
+	return nil
+}
+
+func Dial(addr string, ctx context.Context) error { // want "Dial takes a context.Context that is not the first parameter"
+	return nil
+}
+
+// Unexported helpers choose their own order.
+func drain(n int, ctx context.Context) {}
+
+// A fresh root context on the request path drops the caller's
+// cancellation and trace.
+func (r *Registry) Apply(n int) error {
+	return r.ApplyContext(context.Background(), n) // want `context\.Background\(\) mints a fresh root context on a request path`
+}
+
+func (r *Registry) Todo(n int) error {
+	return r.ApplyContext(context.TODO(), n) // want `context\.TODO\(\) mints a fresh root context on a request path`
+}
+
+// The legacy non-ctx wrapper keeps its Background under the escape
+// hatch, visible and counted.
+func (r *Registry) Subscribe(n int) error {
+	return r.ApplyContext(context.Background(), n) //gpmvet:ignore legacy non-ctx API: wrapper is the documented detachment point
+}

@@ -1,0 +1,13 @@
+// Package x is outside the guarded request-path packages: CLIs and
+// examples mint root contexts legitimately.
+package x
+
+import "context"
+
+func Main() {
+	run(context.Background())
+}
+
+func Misordered(n int, ctx context.Context) {}
+
+func run(ctx context.Context) {}

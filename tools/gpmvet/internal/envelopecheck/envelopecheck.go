@@ -1,0 +1,160 @@
+// Package envelopecheck keeps {code,message,seq?,trace_id} the only
+// error shape on the v1 wire. Inside the HTTP layer every failure must
+// flow through classify()/writeError so clients can switch on stable
+// codes; one http.Error call or hand-rolled 4xx/5xx WriteHeader ships a
+// second, envelope-less error dialect. In the guarded packages
+// (-envelopecheck.packages, default internal/serve) the analyzer
+// forbids:
+//
+//   - http.Error and http.NotFound calls (plain-text error bodies)
+//   - WriteHeader with a literal or http.Status* constant >= 400
+//
+// WriteHeader with a computed status stays legal — that is exactly how
+// the central envelope writer works — and the writer functions named in
+// -envelopecheck.writers are exempt wholesale.
+package envelopecheck
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"gpmvet/internal/analysis"
+)
+
+// Analyzer is the envelopecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "envelopecheck",
+	Doc:  "error responses in the HTTP layer must go through the classify()/writeError envelope",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.String("packages", "internal/serve",
+		"comma-separated import paths (exact or path-suffix match) where the error-envelope contract is enforced")
+	Analyzer.Flags.String("writers", "writeJSON,writeError",
+		"comma-separated function names exempt from the check (the envelope writers themselves)")
+}
+
+// errorStatus maps the net/http 4xx/5xx constant names to their codes.
+var errorStatus = map[string]bool{
+	"StatusBadRequest": true, "StatusUnauthorized": true, "StatusPaymentRequired": true,
+	"StatusForbidden": true, "StatusNotFound": true, "StatusMethodNotAllowed": true,
+	"StatusNotAcceptable": true, "StatusProxyAuthRequired": true, "StatusRequestTimeout": true,
+	"StatusConflict": true, "StatusGone": true, "StatusLengthRequired": true,
+	"StatusPreconditionFailed": true, "StatusRequestEntityTooLarge": true,
+	"StatusRequestURITooLong": true, "StatusUnsupportedMediaType": true,
+	"StatusRequestedRangeNotSatisfiable": true, "StatusExpectationFailed": true,
+	"StatusTeapot": true, "StatusMisdirectedRequest": true, "StatusUnprocessableEntity": true,
+	"StatusLocked": true, "StatusFailedDependency": true, "StatusTooEarly": true,
+	"StatusUpgradeRequired": true, "StatusPreconditionRequired": true,
+	"StatusTooManyRequests": true, "StatusRequestHeaderFieldsTooLarge": true,
+	"StatusUnavailableForLegalReasons": true, "StatusInternalServerError": true,
+	"StatusNotImplemented": true, "StatusBadGateway": true, "StatusServiceUnavailable": true,
+	"StatusGatewayTimeout": true, "StatusHTTPVersionNotSupported": true,
+	"StatusVariantAlsoNegotiates": true, "StatusInsufficientStorage": true,
+	"StatusLoopDetected": true, "StatusNotExtended": true,
+	"StatusNetworkAuthenticationRequired": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	writers := map[string]bool{}
+	for _, w := range strings.Split(pass.Analyzer.Flags.Lookup("writers").Value.String(), ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			writers[w] = true
+		}
+	}
+	for _, f := range pass.Files {
+		httpName := importName(f, "net/http", "http")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || writers[fd.Name.Name] {
+				continue
+			}
+			checkFunc(pass, fd, httpName)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, httpName string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == httpName {
+			switch sel.Sel.Name {
+			case "Error", "NotFound":
+				pass.Reportf(call.Pos(),
+					"direct %s.%s writes an envelope-less error body: route the failure through classify()/writeError so {code,message} stays the only error shape on the wire",
+					httpName, sel.Sel.Name)
+			}
+			return true
+		}
+		if sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 {
+			if status, name, ok := literalStatus(call.Args[0], httpName); ok && status >= 400 {
+				pass.Reportf(call.Pos(),
+					"WriteHeader(%s) hand-rolls an error response: route the failure through classify()/writeError so {code,message} stays the only error shape on the wire",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// literalStatus resolves an int literal or http.StatusXxx selector.
+func literalStatus(e ast.Expr, httpName string) (status int, name string, ok bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		n, err := strconv.Atoi(e.Value)
+		if err != nil {
+			return 0, "", false
+		}
+		return n, e.Value, true
+	case *ast.SelectorExpr:
+		if id, k := e.X.(*ast.Ident); k && id.Name == httpName {
+			if errorStatus[e.Sel.Name] {
+				return 400, httpName + "." + e.Sel.Name, true // exact code irrelevant: all entries are >= 400
+			}
+			return 200, httpName + "." + e.Sel.Name, true
+		}
+	}
+	return 0, "", false
+}
+
+func inScope(pass *analysis.Pass) bool {
+	for _, p := range strings.Split(pass.Analyzer.Flags.Lookup("packages").Value.String(), ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if pass.Pkg.ImportPath == p || strings.HasSuffix(pass.Pkg.ImportPath, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// importName returns the local name of the import with the given path
+// (def when imported without rename, "" when absent).
+func importName(f *ast.File, path, def string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return def
+	}
+	return ""
+}

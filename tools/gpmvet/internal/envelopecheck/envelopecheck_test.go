@@ -1,0 +1,26 @@
+package envelopecheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpmvet/internal/analysistest"
+	"gpmvet/internal/envelopecheck"
+)
+
+func TestServePackage(t *testing.T) {
+	_, suppressed := analysistest.Run(t, "testdata", envelopecheck.Analyzer, "gpm/internal/serve")
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed = %d findings, want exactly the health-probe escape hatch: %+v", len(suppressed), suppressed)
+	}
+	if got := suppressed[0].Suppressed; !strings.Contains(got, "health probe") {
+		t.Errorf("suppression reason = %q, want the fixture's ignore reason", got)
+	}
+}
+
+func TestOutsideScope(t *testing.T) {
+	live, _ := analysistest.Run(t, "testdata", envelopecheck.Analyzer, "other")
+	if len(live) != 0 {
+		t.Fatalf("live = %+v, want none outside internal/serve", live)
+	}
+}

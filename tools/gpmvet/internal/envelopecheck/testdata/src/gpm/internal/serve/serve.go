@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+)
+
+// handler collects the shapes the analyzer must and must not flag.
+func handler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest)  // want `direct http\.Error writes an envelope-less error body`
+	http.NotFound(w, r)                           // want `direct http\.NotFound writes an envelope-less error body`
+	w.WriteHeader(404)                            // want `WriteHeader\(404\) hand-rolls an error response`
+	w.WriteHeader(http.StatusInternalServerError) // want `WriteHeader\(http\.StatusInternalServerError\) hand-rolls an error response`
+
+	w.WriteHeader(http.StatusOK)        // success statuses are fine
+	w.WriteHeader(204)                  // so are literal 2xx
+	w.WriteHeader(http.StatusNoContent) // and named 2xx
+
+	writeError(w, r, http.StatusBadRequest, "invalid_graph", errors.New("x")) // the envelope path
+}
+
+// ignored shows the escape hatch for a deliberate raw write.
+func ignored(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusServiceUnavailable) //gpmvet:ignore pre-envelope health probe contract
+}
+
+// writeJSON and writeError are the exempt envelope writers: computed
+// statuses and the terminal WriteHeader live here by design.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = v
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	writeJSON(w, status, map[string]string{"code": code, "message": err.Error()})
+}

@@ -1,0 +1,10 @@
+// Package other is outside the guarded HTTP layer: examples and tests
+// may write whatever status lines they like.
+package other
+
+import "net/http"
+
+func raw(w http.ResponseWriter) {
+	http.Error(w, "fine here", http.StatusTeapot)
+	w.WriteHeader(500)
+}

@@ -1,0 +1,16 @@
+package b
+
+import "sync"
+
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *R) bumpLocked() { r.n++ }
+
+// commitInner is only safe when the allowlist says so; this package is
+// analyzed with no allowlist, so the call is a violation.
+func (r *R) commitInner() {
+	r.bumpLocked() // want "call to bumpLocked without holding r's mutex"
+}

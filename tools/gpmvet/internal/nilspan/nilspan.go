@@ -1,0 +1,169 @@
+// Package nilspan guards the tracer's unsampled fast path: a nil *Span
+// is the "tracing off" value, and every exported method on Span is
+// documented to be a safe no-op on it. That only holds if each method
+// that touches a receiver field opens with a nil-receiver guard — one
+// missing guard turns every untraced commit into a panic. The analyzer
+// requires exported pointer-receiver methods on the configured types
+// (default: Span) that access receiver fields to begin with
+//
+//	if s == nil { ... return ... }
+//
+// (compound guards like `if s == nil || s.rec == nil` count). Methods
+// that only delegate to other methods need no guard — the callee's
+// guard is the contract.
+package nilspan
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"gpmvet/internal/analysis"
+)
+
+// Analyzer is the nilspan pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilspan",
+	Doc:  "exported methods on *Span must nil-guard the receiver before touching fields",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.String("types", "Span",
+		"comma-separated type names whose exported pointer-receiver methods must open with a nil-receiver guard")
+}
+
+func run(pass *analysis.Pass) error {
+	types := map[string]bool{}
+	for _, t := range strings.Split(pass.Analyzer.Flags.Lookup("types").Value.String(), ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			types[t] = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if !fd.Name.IsExported() {
+				continue
+			}
+			tname, recv := recvInfo(fd.Recv.List[0])
+			if !types[tname] || recv == "" {
+				continue
+			}
+			if !touchesFields(fd.Body, recv) {
+				continue // pure delegation rides on the callees' guards
+			}
+			if startsWithNilGuard(fd.Body, recv) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported method (*%s).%s touches receiver fields without an opening nil-receiver guard (nil is the unsampled fast path: `if %s == nil { return ... }` must come first)",
+				tname, fd.Name.Name, recv)
+		}
+	}
+	return nil
+}
+
+// recvInfo extracts the pointer receiver's type and variable names
+// ("", "" for value receivers or unnamed ones).
+func recvInfo(field *ast.Field) (typeName, varName string) {
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return "", ""
+	}
+	switch t := star.X.(type) {
+	case *ast.Ident:
+		typeName = t.Name
+	case *ast.IndexExpr: // generic receiver *Span[T]
+		if id, ok := t.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	}
+	if len(field.Names) == 1 {
+		varName = field.Names[0].Name
+	}
+	return typeName, varName
+}
+
+// touchesFields reports whether the body selects a field on recv — a
+// selector recv.x that is not immediately invoked as a method.
+func touchesFields(body *ast.BlockStmt, recv string) bool {
+	found := false
+	methodFuns := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				methodFuns[sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || methodFuns[sel] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// startsWithNilGuard reports whether the body's first statement is an
+// if whose condition checks recv == nil (alone or in an || chain) and
+// whose branch returns.
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifst, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifst.Init != nil {
+		return false
+	}
+	if !condChecksNil(ifst.Cond, recv) {
+		return false
+	}
+	return branchReturns(ifst.Body)
+}
+
+// condChecksNil looks for `recv == nil` among ||-joined operands.
+func condChecksNil(cond ast.Expr, recv string) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condChecksNil(e.X, recv)
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return condChecksNil(e.X, recv) || condChecksNil(e.Y, recv)
+		}
+		if e.Op == token.EQL {
+			return isIdent(e.X, recv) && isNil(e.Y) || isNil(e.X) && isIdent(e.Y, recv)
+		}
+	}
+	return false
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNil(e ast.Expr) bool { return isIdent(e, "nil") }
+
+// branchReturns requires the guard branch to leave the method: a
+// return anywhere in the branch (the usual shapes are a bare return or
+// a zero-value return).
+func branchReturns(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

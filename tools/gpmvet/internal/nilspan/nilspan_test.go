@@ -1,0 +1,15 @@
+package nilspan_test
+
+import (
+	"testing"
+
+	"gpmvet/internal/analysistest"
+	"gpmvet/internal/nilspan"
+)
+
+func TestNilspan(t *testing.T) {
+	_, suppressed := analysistest.Run(t, "testdata", nilspan.Analyzer, "a")
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed = %d findings, want exactly the Unsafe escape hatch: %+v", len(suppressed), suppressed)
+	}
+}

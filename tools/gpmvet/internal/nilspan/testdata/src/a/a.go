@@ -1,0 +1,66 @@
+package a
+
+type rec struct{ n int }
+
+type Span struct {
+	rec *rec
+	n   int
+}
+
+// Guarded field access: the canonical shape.
+func (s *Span) SetN(n int) {
+	if s == nil {
+		return
+	}
+	s.n = n
+}
+
+// Compound guard counts.
+func (s *Span) Bump() int {
+	if s == nil || s.rec == nil {
+		return 0
+	}
+	s.rec.n++
+	return s.rec.n
+}
+
+// Pure delegation needs no guard: the callee's guard is the contract.
+func (s *Span) BumpTwice() {
+	s.Bump()
+	s.Bump()
+}
+
+// Field access with no guard at all.
+func (s *Span) Leak() int { // want `exported method \(\*Span\)\.Leak touches receiver fields without an opening nil-receiver guard`
+	return s.n
+}
+
+// The guard must be the first statement, not buried later.
+func (s *Span) LateGuard() int { // want "opening nil-receiver guard"
+	x := s.n
+	if s == nil {
+		return 0
+	}
+	return x
+}
+
+// A guard that does not return does not protect the dereference.
+func (s *Span) NoReturnGuard() int { // want "opening nil-receiver guard"
+	if s == nil {
+		_ = 0
+	}
+	return s.n
+}
+
+// Unexported methods are internal helpers; callers guarantee non-nil.
+func (s *Span) leak() int { return s.n }
+
+// The escape hatch suppresses (and counts) a deliberate exception.
+func (s *Span) Unsafe() int { //gpmvet:ignore benchmark-only accessor, never reached unsampled
+	return s.n
+}
+
+// Other types are out of scope.
+type NotSpan struct{ n int }
+
+func (s *NotSpan) Leak() int { return s.n }

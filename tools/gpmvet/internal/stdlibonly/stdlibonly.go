@@ -1,0 +1,113 @@
+// Package stdlibonly pins the telemetry layer to the standard library.
+// internal/obs and internal/obs/trace sit on the commit hot path of
+// every registry and are imported by nearly every package; they must
+// never pull in client_golang, an OTel SDK, or any other external
+// weight. This analyzer replaces the CI grep that used to enforce the
+// rule with a per-import diagnostic: in a guarded package, every import
+// must be standard library (or another package in the guarded set —
+// the layer may reference itself, nothing else).
+//
+// A package is guarded when its import path matches -stdlibonly.packages
+// or when any of its files carries a
+//
+//	//gpmvet:stdlib-only
+//
+// marker comment, so new dependency-free packages opt in with one line
+// instead of a config change.
+package stdlibonly
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"gpmvet/internal/analysis"
+)
+
+// Analyzer is the stdlibonly pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "stdlibonly",
+	Doc:  "guarded packages (telemetry layer) may import only the standard library",
+	Run:  run,
+}
+
+// Marker is the opt-in comment that guards the containing package.
+const Marker = "gpmvet:stdlib-only"
+
+func init() {
+	Analyzer.Flags.String("packages", "gpm/internal/obs,gpm/internal/obs/trace",
+		"comma-separated import paths (exact or path-suffix match) of packages restricted to stdlib imports")
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := guardedSet(pass)
+	if !matches(pass.Pkg.ImportPath, guarded) && !hasMarker(pass.Files) {
+		return nil
+	}
+	module := pass.Pkg.Module
+	if module == "" {
+		module = firstSegment(pass.Pkg.ImportPath)
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case p == module || strings.HasPrefix(p, module+"/"):
+				if !matches(p, guarded) {
+					pass.Reportf(imp.Pos(),
+						"stdlib-only package %s imports module package %s (the telemetry layer may depend only on the standard library and itself)",
+						pass.Pkg.ImportPath, p)
+				}
+			case p == "C" || strings.Contains(firstSegment(p), "."):
+				pass.Reportf(imp.Pos(),
+					"stdlib-only package %s imports non-stdlib package %s",
+					pass.Pkg.ImportPath, p)
+			}
+		}
+	}
+	return nil
+}
+
+func guardedSet(pass *analysis.Pass) []string {
+	var out []string
+	for _, p := range strings.Split(pass.Analyzer.Flags.Lookup("packages").Value.String(), ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// matches reports whether path equals an entry or ends with "/"+entry
+// (so configs work both with and without the module prefix).
+func matches(path string, entries []string) bool {
+	for _, e := range entries {
+		if path == e || strings.HasSuffix(path, "/"+e) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMarker(files []*ast.File) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), Marker) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func firstSegment(p string) string {
+	if i := strings.Index(p, "/"); i >= 0 {
+		return p[:i]
+	}
+	return p
+}

@@ -1,0 +1,36 @@
+package stdlibonly_test
+
+import (
+	"testing"
+
+	"gpmvet/internal/analysistest"
+	"gpmvet/internal/stdlibonly"
+)
+
+// TestConfiguredPackage covers the default -stdlibonly.packages entry:
+// the seeded prometheus and gpm/internal/graph imports must fail, the
+// stdlib and guarded-set imports must not. This is the analyzer that
+// replaced the CI grep, so this fixture is the seeded-violation proof
+// that the lint lane still fails when obs grows a dependency.
+func TestConfiguredPackage(t *testing.T) {
+	live, suppressed := analysistest.Run(t, "testdata", stdlibonly.Analyzer, "gpm/internal/obs")
+	if len(live) != 2 {
+		t.Fatalf("live = %d findings, want 2 (prometheus + graph): %+v", len(live), live)
+	}
+	if len(suppressed) != 0 {
+		t.Fatalf("suppressed = %+v, want none", suppressed)
+	}
+}
+
+// TestMarkerPackage covers the //gpmvet:stdlib-only opt-in marker.
+func TestMarkerPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", stdlibonly.Analyzer, "m/marked")
+}
+
+// TestUnguardedPackage proves the analyzer stays quiet off-scope.
+func TestUnguardedPackage(t *testing.T) {
+	live, _ := analysistest.Run(t, "testdata", stdlibonly.Analyzer, "u")
+	if len(live) != 0 {
+		t.Fatalf("live = %+v, want none in an unguarded package", live)
+	}
+}

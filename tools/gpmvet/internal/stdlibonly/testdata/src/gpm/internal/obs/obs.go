@@ -1,0 +1,17 @@
+package obs
+
+import (
+	"fmt"
+
+	"github.com/prometheus/client_golang/prometheus" // want "non-stdlib package github.com/prometheus/client_golang/prometheus"
+
+	"gpm/internal/graph" // want "imports module package gpm/internal/graph"
+
+	"gpm/internal/obs/trace"
+)
+
+// The telemetry layer may use the stdlib and itself, nothing else.
+var _ = fmt.Sprintf
+var _ = prometheus.NewRegistry
+var _ = graph.New
+var _ = trace.Parse

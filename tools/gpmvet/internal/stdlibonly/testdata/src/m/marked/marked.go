@@ -1,0 +1,17 @@
+// Package marked opts into the stdlib-only contract by marker comment
+// rather than configuration.
+//
+//gpmvet:stdlib-only
+package marked
+
+import (
+	"strings"
+
+	"m/other" // want "imports module package m/other"
+
+	"rsc.io/quote" // want "non-stdlib package rsc.io/quote"
+)
+
+var _ = strings.TrimSpace
+var _ = other.Thing
+var _ = quote.Hello

@@ -1,0 +1,11 @@
+// Package u is neither configured nor marked: it may import anything.
+package u
+
+import (
+	"github.com/anything/goes"
+
+	"u/sibling"
+)
+
+var _ = goes.Fine
+var _ = sibling.Fine
